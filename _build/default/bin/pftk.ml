@@ -1,0 +1,497 @@
+(* pftk: command-line front end for the PFTK TCP-throughput model suite and
+   its experiment drivers.  `pftk all` regenerates every table and figure. *)
+
+open Cmdliner
+open Pftk_core
+
+let ppf = Format.std_formatter
+
+(* --- Shared options ------------------------------------------------------ *)
+
+let rtt_arg =
+  let doc = "Average round-trip time, seconds." in
+  Arg.(value & opt float 0.2 & info [ "rtt" ] ~docv:"SECONDS" ~doc)
+
+let t0_arg =
+  let doc = "Average single-timeout duration T0, seconds." in
+  Arg.(value & opt float 2. & info [ "t0" ] ~docv:"SECONDS" ~doc)
+
+let b_arg =
+  let doc = "Packets acknowledged per ACK (2 with delayed ACKs)." in
+  Arg.(value & opt int 2 & info [ "b"; "ack-factor" ] ~docv:"N" ~doc)
+
+let wm_arg =
+  let doc = "Receiver-advertised maximum window, packets (0 = unlimited)." in
+  Arg.(value & opt int 0 & info [ "wm" ] ~docv:"PACKETS" ~doc)
+
+let p_arg =
+  let doc = "Loss-indication probability." in
+  Arg.(value & opt float 0.01 & info [ "p"; "loss" ] ~docv:"PROB" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Shorter runs: 600-s traces and 30 connections per batch." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let model_arg =
+  let doc =
+    "Model: full (default), approximate, td-only, td-only-sqrt, \
+     full-approx-q, throughput, markov."
+  in
+  Arg.(value & opt string "full" & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let make_params ~rtt ~t0 ~b ~wm =
+  if wm <= 0 then Params.make ~b ~rtt ~t0 ()
+  else Params.make ~b ~wm ~rtt ~t0 ()
+
+let parse_model name =
+  match Model.of_name name with
+  | Some kind -> kind
+  | None -> failwith (Printf.sprintf "unknown model %S" name)
+
+(* --- rate / throughput / inverse / sweep -------------------------------- *)
+
+let rate_cmd =
+  let run rtt t0 b wm p model =
+    let params = make_params ~rtt ~t0 ~b ~wm in
+    let kind = parse_model model in
+    let rate = Model.send_rate kind params p in
+    Format.fprintf ppf "%s model, %a, p=%g:@.  %.4f packets/s@."
+      (Model.name kind) Params.pp params p rate
+  in
+  let doc = "Evaluate a send-rate model at one operating point." in
+  Cmd.v (Cmd.info "rate" ~doc)
+    Term.(const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ p_arg $ model_arg)
+
+let throughput_cmd =
+  let run rtt t0 b wm p =
+    let params = make_params ~rtt ~t0 ~b ~wm in
+    let b_rate = Full_model.send_rate params p in
+    let t_rate = Throughput.throughput params p in
+    Format.fprintf ppf
+      "%a, p=%g:@.  send rate B = %.4f pkt/s@.  throughput T = %.4f pkt/s@.  \
+       delivery ratio = %.4f@."
+      Params.pp params p b_rate t_rate (t_rate /. b_rate)
+  in
+  let doc = "Send rate vs receiver throughput (Sec. V) at one point." in
+  Cmd.v (Cmd.info "throughput" ~doc)
+    Term.(const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ p_arg)
+
+let inverse_cmd =
+  let target_arg =
+    let doc = "Target send rate, packets/s." in
+    Arg.(value & opt float 10. & info [ "target" ] ~docv:"RATE" ~doc)
+  in
+  let run rtt t0 b wm target =
+    let params = make_params ~rtt ~t0 ~b ~wm in
+    match Inverse.loss_budget params ~rate:target with
+    | Some p ->
+        Format.fprintf ppf
+          "%a:@.  loss budget for %.2f pkt/s: p = %.6f@." Params.pp params
+          target p
+    | None ->
+        Format.fprintf ppf
+          "%a:@.  %.2f pkt/s is outside the achievable range@." Params.pp
+          params target
+  in
+  let doc = "Largest loss probability sustaining a target rate." in
+  Cmd.v (Cmd.info "inverse" ~doc)
+    Term.(const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ target_arg)
+
+let sweep_cmd =
+  let run rtt t0 b wm model =
+    let params = make_params ~rtt ~t0 ~b ~wm in
+    let kind = parse_model model in
+    let series = Model.series kind params (Sweep.paper_loss_grid ()) in
+    Format.fprintf ppf "# %s over p, %a@.%a@." (Model.name kind) Params.pp
+      params Sweep.pp_series series
+  in
+  let doc = "Print a (p, rate) series for one model over the paper's grid." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ model_arg)
+
+let latency_cmd =
+  let packets_arg =
+    let doc = "Transfer size, packets." in
+    Arg.(value & opt int 20 & info [ "packets" ] ~docv:"N" ~doc)
+  in
+  let run rtt t0 b wm p packets =
+    let params = make_params ~rtt ~t0 ~b ~wm in
+    let phases = Short_flow.expected_latency params ~p ~packets in
+    Format.fprintf ppf
+      "short-flow latency, %a, p=%g, %d packets:@.  handshake %.3fs  slow-start %.3fs  recovery %.3fs  cong-avoidance %.3fs  delayed-ack %.3fs@.  total %.3f s  (%.2f pkt/s effective; bulk model: %.2f pkt/s)@."
+      Params.pp params p packets phases.Short_flow.handshake
+      phases.Short_flow.slow_start phases.Short_flow.recovery
+      phases.Short_flow.congestion_avoidance phases.Short_flow.delayed_ack
+      phases.Short_flow.total
+      (Short_flow.mean_rate phases ~packets)
+      (Full_model.send_rate params p)
+  in
+  let doc = "Expected completion time of a short transfer (Cardwell model)." in
+  Cmd.v (Cmd.info "latency" ~doc)
+    Term.(const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ p_arg $ packets_arg)
+
+let tfrc_cmd =
+  let run rtt p seed =
+    let controller = Tfrc.Controller.create () in
+    let rng = Pftk_stats.Rng.create ~seed () in
+    Format.fprintf ppf "TFRC controller under p=%g, RTT=%gs:@." p rtt;
+    Format.fprintf ppf "%8s %12s %12s@." "epoch" "rate pkt/s" "est. p";
+    for epoch = 1 to 24 do
+      Tfrc.Controller.on_rtt_sample controller rtt;
+      (* One RTT's worth of packets at the current rate. *)
+      let n =
+        max 1 (int_of_float (Tfrc.Controller.allowed_rate controller *. rtt))
+      in
+      for _ = 1 to n do
+        Tfrc.Controller.on_packet controller
+          ~lost:(Pftk_stats.Rng.bernoulli rng p)
+      done;
+      Tfrc.Controller.feedback_epoch controller;
+      if epoch mod 2 = 0 then
+        Format.fprintf ppf "%8d %12.2f %12s@." epoch
+          (Tfrc.Controller.allowed_rate controller)
+          (match Tfrc.Controller.loss_event_rate controller with
+          | Some est -> Printf.sprintf "%.4f" est
+          | None -> "-")
+    done;
+    let params = Params.make ~rtt ~t0:(4. *. rtt) () in
+    Format.fprintf ppf "eq. (33) at the true p: %.2f pkt/s@."
+      (Approx_model.send_rate params p)
+  in
+  let doc = "Drive the TFRC-style controller against synthetic loss." in
+  Cmd.v (Cmd.info "tfrc" ~doc) Term.(const run $ rtt_arg $ p_arg $ seed_arg)
+
+(* --- simulate / analyze -------------------------------------------------- *)
+
+let simulate_cmd =
+  let duration_arg =
+    let doc = "Simulated duration, seconds." in
+    Arg.(value & opt float 600. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let dump_arg =
+    let doc = "Write the trace to $(docv) (pftk text format)." in
+    Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE" ~doc)
+  in
+  let run rtt t0 b wm p seed duration dump =
+    let params = make_params ~rtt ~t0 ~b ~wm in
+    let rng = Pftk_stats.Rng.create ~seed () in
+    let loss = Pftk_loss.Loss_process.round_correlated rng ~p in
+    let recorder = Pftk_trace.Recorder.create () in
+    let result =
+      Pftk_tcp.Round_sim.run ~seed ~recorder ~duration ~loss
+        (Pftk_tcp.Round_sim.config_of_params params)
+    in
+    (match dump with
+    | Some path ->
+        Pftk_trace.Serialize.save path recorder;
+        Format.fprintf ppf "trace written to %s (%d events)@." path
+          (Pftk_trace.Recorder.length recorder)
+    | None -> ());
+    let open Pftk_tcp.Round_sim in
+    Format.fprintf ppf
+      "round-based simulation, %a, p=%g, %.0f s:@.  packets sent %d \
+       (delivered %d), rounds %d@.  loss indications %d (TD %d, TO \
+       sequences %d)@.  send rate %.3f pkt/s (model: %.3f), observed p \
+       %.5f@."
+      Params.pp params p duration result.packets_sent result.packets_delivered
+      result.rounds result.loss_indications result.td_events
+      result.to_sequences result.send_rate
+      (Full_model.send_rate params p)
+      result.observed_p
+  in
+  let doc = "Monte-Carlo the model process and compare with eq. (32)." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ p_arg $ seed_arg
+      $ duration_arg $ dump_arg)
+
+let analyze_cmd =
+  let trace_arg =
+    let doc = "Analyze a saved trace file instead of running a simulation." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run seed quick trace =
+    match trace with
+    | Some path ->
+        let recorder = Pftk_trace.Serialize.load path in
+        let summary = Pftk_trace.Analyzer.summarize recorder in
+        Format.fprintf ppf "%s: %a@." path Pftk_trace.Analyzer.pp_summary summary
+    | None ->
+    let duration = if quick then 300. else 1800. in
+    let rng = Pftk_stats.Rng.create ~seed () in
+    let scenario =
+      {
+        Pftk_tcp.Connection.default_scenario with
+        data_loss = Some (Pftk_loss.Loss_process.bernoulli rng ~p:0.02);
+      }
+    in
+    let result = Pftk_tcp.Connection.run ~seed ~duration scenario in
+    let truth =
+      Pftk_trace.Analyzer.summarize ~mode:`Ground_truth
+        result.Pftk_tcp.Connection.recorder
+    in
+    let inferred =
+      Pftk_trace.Analyzer.summarize ~mode:`Infer
+        result.Pftk_tcp.Connection.recorder
+    in
+    Format.fprintf ppf
+      "packet-level Reno over a lossy path (%.0f s):@.  ground truth: %a@.  \
+       inferred:     %a@."
+      duration Pftk_trace.Analyzer.pp_summary truth
+      Pftk_trace.Analyzer.pp_summary inferred
+  in
+  let doc =
+    "Run a packet-level connection and compare trace-inference against the \
+     sender's ground truth."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ seed_arg $ quick_arg $ trace_arg)
+
+(* --- experiment drivers --------------------------------------------------- *)
+
+let hour_duration quick = if quick then 600. else 3600.
+let batch_count quick = if quick then 30 else 100
+
+let table1_cmd =
+  let run () = Pftk_experiments.Table1.print ppf in
+  Cmd.v (Cmd.info "table1" ~doc:"Table I: measurement hosts.") Term.(const run $ const ())
+
+let table2_cmd =
+  let run seed quick =
+    Pftk_experiments.Table2.(
+      print ppf (generate ~seed ~duration:(hour_duration quick) ()))
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Table II: 1-hour trace summaries, sim vs paper.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig7_cmd =
+  let run seed quick =
+    Pftk_experiments.Fig7.(
+      print ppf (generate ~seed ~duration:(hour_duration quick) ()))
+  in
+  Cmd.v (Cmd.info "fig7" ~doc:"Fig. 7: interval scatter vs model curves.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig8_cmd =
+  let run seed quick =
+    Pftk_experiments.Fig8.(print ppf (generate ~seed ~count:(batch_count quick) ()))
+  in
+  Cmd.v (Cmd.info "fig8" ~doc:"Fig. 8: 100-s traces vs model predictions.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig9_cmd =
+  let run seed quick =
+    Pftk_experiments.Fig9.(
+      print ppf ~title:"Fig. 9: Comparison of the models for 1-h traces"
+        (generate ~seed ~duration:(hour_duration quick) ()))
+  in
+  Cmd.v (Cmd.info "fig9" ~doc:"Fig. 9: average error on 1-hour traces.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig10_cmd =
+  let run seed quick =
+    Pftk_experiments.Fig10.(print ppf (generate ~seed ~count:(batch_count quick) ()))
+  in
+  Cmd.v (Cmd.info "fig10" ~doc:"Fig. 10: average error on 100-s traces.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig11_cmd =
+  let run seed quick =
+    let duration = if quick then 900. else 3600. in
+    Pftk_experiments.Fig11.(
+      print ppf [ run_wide_area ~seed ~duration (); run_modem ~seed ~duration () ])
+  in
+  Cmd.v (Cmd.info "fig11" ~doc:"Fig. 11 / Sec. IV: modem correlation study.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig12_cmd =
+  let run seed quick =
+    let mc_duration = if quick then 5_000. else 30_000. in
+    Pftk_experiments.Fig12.(print ppf (generate ~seed ~mc_duration ()))
+  in
+  Cmd.v (Cmd.info "fig12" ~doc:"Fig. 12: full model vs numerical Markov model.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig13_cmd =
+  let run () = Pftk_experiments.Fig13.(print ppf (generate ())) in
+  Cmd.v (Cmd.info "fig13" ~doc:"Fig. 13: throughput vs send rate.")
+    Term.(const run $ const ())
+
+let timeline_cmd =
+  let trace_arg =
+    let doc = "Plot a saved trace file instead of simulating." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run seed trace =
+    let recorder =
+      match trace with
+      | Some path -> Pftk_trace.Serialize.load path
+      | None ->
+          let rng = Pftk_stats.Rng.create ~seed () in
+          let scenario =
+            {
+              Pftk_tcp.Connection.default_scenario with
+              Pftk_tcp.Connection.data_loss =
+                Some (Pftk_loss.Loss_process.bernoulli rng ~p:0.02);
+            }
+          in
+          (Pftk_tcp.Connection.run ~seed ~duration:120. scenario)
+            .Pftk_tcp.Connection.recorder
+    in
+    Format.fprintf ppf "%s@." (Pftk_trace.Timeline.summary_line recorder);
+    let to_points pts =
+      List.map (fun { Pftk_trace.Timeline.time; value } -> (time, value)) pts
+    in
+    Pftk_experiments.Ascii_plot.render ppf ~logx:false ~logy:false
+      ~x_label:"time (s)" ~y_label:"cwnd (pkts)"
+      [
+        {
+          Pftk_experiments.Ascii_plot.glyph = '.';
+          label = "congestion window";
+          points = to_points (Pftk_trace.Timeline.congestion_window recorder);
+        };
+      ];
+    Pftk_experiments.Ascii_plot.render ppf ~logx:false ~logy:false
+      ~x_label:"time (s)" ~y_label:"pkt/s"
+      [
+        {
+          Pftk_experiments.Ascii_plot.glyph = '#';
+          label = "goodput (10-s bins)";
+          points = to_points (Pftk_trace.Timeline.goodput recorder);
+        };
+      ]
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"tcptrace-style views of a (simulated or saved) connection.")
+    Term.(const run $ seed_arg $ trace_arg)
+
+let validate_cmd =
+  let run seed quick =
+    Pftk_experiments.Validation.(
+      print ppf (generate ~seed ~duration:(if quick then 300. else 900.) ()))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Model vs the packet-level Reno simulator across loss rates.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fairness_cmd =
+  let run seed quick =
+    let scenarios =
+      if quick then
+        [
+          {
+            Pftk_experiments.Fairness.label = "3 reno + 1 tfrc";
+            reno_flows = 3;
+            tfrc_flows = 1;
+            duration = 60.;
+          };
+        ]
+      else Pftk_experiments.Fairness.default_scenarios
+    in
+    Pftk_experiments.Fairness.(print ppf (generate ~seed ~scenarios ()))
+  in
+  Cmd.v
+    (Cmd.info "fairness"
+       ~doc:"TCP-friendliness of an equation-paced flow at a shared bottleneck.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let sensitivity_cmd =
+  let run () =
+    Pftk_experiments.Sensitivity.(print ppf (elasticities ()))
+  in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc:"Input elasticities of the full model.")
+    Term.(const run $ const ())
+
+let figwindow_cmd =
+  let run seed = Pftk_experiments.Fig_window.(print ppf (generate ~seed ())) in
+  Cmd.v
+    (Cmd.info "figwindow" ~doc:"Figs. 1/3/5: window-evolution sample paths.")
+    Term.(const run $ seed_arg)
+
+let all_cmd =
+  let run seed quick =
+    Pftk_experiments.Table1.print ppf;
+    Pftk_experiments.Table2.(
+      print ppf (generate ~seed ~duration:(hour_duration quick) ()));
+    Pftk_experiments.Fig_window.(print ppf (generate ~seed ()));
+    Pftk_experiments.Fig7.(
+      print ppf (generate ~seed ~duration:(hour_duration quick) ()));
+    Pftk_experiments.Fig8.(print ppf (generate ~seed ~count:(batch_count quick) ()));
+    Pftk_experiments.Fig9.(
+      print ppf ~title:"Fig. 9: Comparison of the models for 1-h traces"
+        (generate ~seed ~duration:(hour_duration quick) ()));
+    Pftk_experiments.Fig10.(print ppf (generate ~seed ~count:(batch_count quick) ()));
+    Pftk_experiments.Fig11.(
+      print ppf
+        [
+          run_wide_area ~seed ~duration:(if quick then 900. else 3600.) ();
+          run_modem ~seed ~duration:(if quick then 900. else 3600.) ();
+        ]);
+    Pftk_experiments.Fig12.(
+      print ppf (generate ~seed ~mc_duration:(if quick then 5_000. else 30_000.) ()));
+    Pftk_experiments.Fig13.(print ppf (generate ()));
+    Pftk_experiments.Validation.(
+      print ppf (generate ~seed ~duration:(if quick then 300. else 900.) ()));
+    Pftk_experiments.Window_dist.(
+      print ppf (generate ~seed ~rounds:(if quick then 50_000 else 200_000) ()));
+    Pftk_experiments.Sensitivity.(print ppf (elasticities ()));
+    Pftk_experiments.Fairness.(
+      print ppf
+        (generate ~seed
+           ~scenarios:
+             (if quick then
+                [
+                  {
+                    label = "3 reno + 1 tfrc";
+                    reno_flows = 3;
+                    tfrc_flows = 1;
+                    duration = 60.;
+                  };
+                ]
+              else default_scenarios)
+           ()))
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure.")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let main_cmd =
+  let doc =
+    "PFTK TCP-throughput model suite: models, simulators, and the paper's \
+     experiments."
+  in
+  Cmd.group (Cmd.info "pftk" ~version:"1.0.0" ~doc)
+    [
+      rate_cmd;
+      throughput_cmd;
+      inverse_cmd;
+      sweep_cmd;
+      latency_cmd;
+      tfrc_cmd;
+      simulate_cmd;
+      analyze_cmd;
+      table1_cmd;
+      table2_cmd;
+      fig7_cmd;
+      fig8_cmd;
+      fig9_cmd;
+      fig10_cmd;
+      fig11_cmd;
+      fig12_cmd;
+      fig13_cmd;
+      figwindow_cmd;
+      timeline_cmd;
+      validate_cmd;
+      fairness_cmd;
+      sensitivity_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

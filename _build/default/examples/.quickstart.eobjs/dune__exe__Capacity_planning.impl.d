@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Format Full_model Inverse List Params Pftk_core Printf Throughput

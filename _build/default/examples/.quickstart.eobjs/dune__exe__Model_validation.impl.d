@@ -1,0 +1,1 @@
+examples/model_validation.ml: Approx_model Array Format Full_model Int64 Markov Params Pftk_core Pftk_loss Pftk_stats Pftk_tcp Sweep Tdonly

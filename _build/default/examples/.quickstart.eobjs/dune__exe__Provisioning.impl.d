@@ -1,0 +1,1 @@
+examples/provisioning.ml: Fixed_point Format Int64 List Pftk_core Pftk_tcp Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Approx_model Format Full_model Inverse List Params Pftk_core Tdonly Throughput

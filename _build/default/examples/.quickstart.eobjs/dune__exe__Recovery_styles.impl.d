@@ -1,0 +1,1 @@
+examples/recovery_styles.ml: Array Format List Pftk_loss Pftk_netsim Pftk_stats Pftk_tcp

@@ -1,0 +1,1 @@
+examples/short_flows.ml: Format Full_model List Params Pftk_core Printf Short_flow

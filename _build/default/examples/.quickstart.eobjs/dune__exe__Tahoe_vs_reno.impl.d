@@ -1,0 +1,1 @@
+examples/tahoe_vs_reno.ml: Format Full_model List Params Pftk_core Pftk_loss Pftk_stats Pftk_tcp

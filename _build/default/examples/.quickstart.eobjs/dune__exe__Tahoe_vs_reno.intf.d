@@ -1,0 +1,1 @@
+examples/tahoe_vs_reno.mli:

@@ -1,0 +1,1 @@
+examples/tfrc_media.ml: Format Inverse List Params Pftk_core Pftk_loss Pftk_stats Pftk_tcp

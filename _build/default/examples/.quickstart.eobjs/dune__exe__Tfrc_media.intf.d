@@ -1,0 +1,1 @@
+examples/tfrc_media.mli:

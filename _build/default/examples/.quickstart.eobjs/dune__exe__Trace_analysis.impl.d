@@ -1,0 +1,1 @@
+examples/trace_analysis.ml: Float Format Full_model List Params Pftk_core Pftk_loss Pftk_netsim Pftk_stats Pftk_tcp Pftk_trace

@@ -1,0 +1,66 @@
+(* Capacity planning for bulk transfers (the FTP workload of the paper's
+   abstract): given candidate paths with known loss and delay, how long
+   will a 1-GB transfer take, and is the bottleneck the network or the
+   receiver's advertised window?
+
+   The throughput model of Sec. V is the right tool: transfer time depends
+   on what the receiver *gets*, not on what the sender emits.
+   Run with:  dune exec examples/capacity_planning.exe *)
+
+open Pftk_core
+
+type candidate = {
+  name : string;
+  rtt : float;
+  t0 : float;
+  p : float;
+  wm : int;  (** packets, from the receiver's socket buffer *)
+}
+
+let candidates =
+  [
+    { name = "metro fiber"; rtt = 0.012; t0 = 0.25; p = 0.0005; wm = 44 };
+    { name = "national backbone"; rtt = 0.070; t0 = 0.60; p = 0.004; wm = 44 };
+    { name = "transatlantic"; rtt = 0.180; t0 = 1.40; p = 0.015; wm = 44 };
+    { name = "satellite"; rtt = 0.560; t0 = 3.00; p = 0.010; wm = 44 };
+    { name = "congested peer"; rtt = 0.120; t0 = 1.00; p = 0.080; wm = 44 };
+  ]
+
+let gigabyte = 1_000_000_000.
+let mss = 1460
+
+let () =
+  Format.printf "1-GB bulk transfer over candidate paths (MSS %d B)@.@." mss;
+  Format.printf "%-18s %10s %10s %10s %12s %s@." "path" "B pkt/s" "T pkt/s"
+    "MB/s" "1 GB in" "binding constraint";
+  List.iter
+    (fun c ->
+      let params = Params.make ~rtt:c.rtt ~t0:c.t0 ~wm:c.wm () in
+      let send = Full_model.send_rate params c.p in
+      let recv = Throughput.throughput params c.p in
+      let bytes_per_s = Inverse.rate_in_bytes ~mss recv in
+      let seconds = gigabyte /. bytes_per_s in
+      let binding =
+        if Full_model.window_limited params c.p then
+          Printf.sprintf "receiver window (Wm=%d)" c.wm
+        else "network loss"
+      in
+      let human =
+        if seconds < 120. then Printf.sprintf "%.0f s" seconds
+        else if seconds < 7200. then Printf.sprintf "%.1f min" (seconds /. 60.)
+        else Printf.sprintf "%.1f h" (seconds /. 3600.)
+      in
+      Format.printf "%-18s %10.1f %10.1f %10.2f %12s %s@." c.name send recv
+        (bytes_per_s /. 1e6) human binding)
+    candidates;
+
+  (* Would a bigger receiver buffer help the satellite path?  Sweep Wm. *)
+  Format.printf "@.Satellite path: receiver-window sweep at p = 0.01@.";
+  Format.printf "%-6s %12s %s@." "Wm" "T pkt/s" "window-limited?";
+  List.iter
+    (fun wm ->
+      let params = Params.make ~rtt:0.56 ~t0:3.0 ~wm () in
+      Format.printf "%-6d %12.1f %b@." wm
+        (Throughput.throughput params 0.01)
+        (Full_model.window_limited params 0.01))
+    [ 8; 16; 32; 64; 128; 256 ]

@@ -1,0 +1,42 @@
+(* Quickstart: evaluate the PFTK send-rate models on one path.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The scenario is a transatlantic path like the paper's pif-manic pair:
+   257 ms RTT, 1.45 s timeouts, a 33-packet receiver window. *)
+
+open Pftk_core
+
+let () =
+  let params = Params.make ~rtt:0.257 ~t0:1.454 ~wm:33 () in
+  Format.printf "Path: %a@.@." Params.pp params;
+
+  (* The full model (eq. 32) across loss rates, against the TD-only
+     baseline it improves on. *)
+  Format.printf "%-8s %12s %12s %12s@." "p" "full" "approximate" "TD-only";
+  List.iter
+    (fun p ->
+      Format.printf "%-8g %12.2f %12.2f %12.2f@." p
+        (Full_model.send_rate params p)
+        (Approx_model.send_rate params p)
+        (Tdonly.send_rate ~rtt:params.rtt ~b:params.b p))
+    [ 0.001; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ];
+
+  (* Throughput (what the receiver gets) vs send rate (what the sender
+     emits), Sec. V. *)
+  let p = 0.05 in
+  Format.printf "@.At p = %g: B = %.2f pkt/s, T = %.2f pkt/s (%.1f%% delivered)@."
+    p
+    (Full_model.send_rate params p)
+    (Throughput.throughput params p)
+    (100. *. Throughput.delivery_ratio params p);
+
+  (* Inversion: what loss rate would cap this path at 10 pkt/s? *)
+  (match Inverse.loss_budget params ~rate:10. with
+  | Some budget -> Format.printf "Loss budget for 10 pkt/s: p = %.4f@." budget
+  | None -> Format.printf "10 pkt/s is outside the achievable range@.");
+
+  (* In bytes, for a 1460-byte MSS. *)
+  let rate = Full_model.send_rate params 0.01 in
+  Format.printf "At p = 0.01 that is %.0f kB/s of goodput headroom@."
+    (Inverse.rate_in_bytes ~mss:1460 rate /. 1000.)

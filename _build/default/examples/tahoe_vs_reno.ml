@@ -1,0 +1,43 @@
+(* Tahoe vs Reno vs the model's idealized process.
+
+   Section IV notes that the SunOS senders in the measurement set ran a
+   Tahoe-derived stack (no fast recovery: every loss indication restarts
+   from a window of one), yet the Reno model still fit.  This example
+   quantifies how much that distinction matters across loss rates by
+   running the round-based simulator in its three flavors against
+   eq. (32).
+
+   Run with:  dune exec examples/tahoe_vs_reno.exe *)
+
+open Pftk_core
+module Round_sim = Pftk_tcp.Round_sim
+module Loss = Pftk_loss.Loss_process
+
+let params = Params.make ~rtt:0.2 ~t0:1.5 ~wm:32 ()
+
+let simulate flavor p seed =
+  let rng = Pftk_stats.Rng.create ~seed () in
+  let loss = Loss.round_correlated rng ~p in
+  let config = { (Round_sim.config_of_params params) with Round_sim.flavor } in
+  let r = Round_sim.run ~seed ~duration:30_000. ~loss config in
+  r.Round_sim.send_rate
+
+let () =
+  Format.printf "Send rate (pkt/s), %a@.@." Params.pp params;
+  Format.printf "%-8s %10s %12s %12s %10s %10s@." "p" "model" "model-reno"
+    "reno+ss" "tahoe" "tahoe/reno";
+  List.iter
+    (fun p ->
+      let model = Full_model.send_rate params p in
+      let ideal = simulate Round_sim.Model_reno p 1L in
+      let reno = simulate Round_sim.Reno_slow_start p 2L in
+      let tahoe = simulate Round_sim.Tahoe p 3L in
+      Format.printf "%-8.4f %10.2f %12.2f %12.2f %10.2f %10.2f@." p model
+        ideal reno tahoe (tahoe /. reno))
+    [ 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ];
+  Format.printf
+    "@.Reading: Tahoe pays a slow-start ramp after every TD indication, so \
+     it falls@.below Reno as TDs become common (moderate p with decent \
+     windows); at high p@.almost all indications are timeouts anyway and \
+     the three flavors converge --@.which is why the Reno model fit the \
+     Tahoe-derived SunOS senders in the paper.@."

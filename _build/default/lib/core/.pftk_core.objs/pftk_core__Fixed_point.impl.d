@@ -1,0 +1,1 @@
+lib/core/fixed_point.ml: Float Full_model Params

@@ -1,0 +1,1 @@
+lib/core/full_model.ml: Float Params Qhat Tdonly Timeouts

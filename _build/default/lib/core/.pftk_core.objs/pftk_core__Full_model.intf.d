@@ -1,0 +1,1 @@
+lib/core/full_model.mli: Params Qhat

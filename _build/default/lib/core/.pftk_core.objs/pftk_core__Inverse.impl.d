@@ -1,0 +1,1 @@
+lib/core/inverse.ml: Approx_model Full_model

@@ -1,0 +1,1 @@
+lib/core/inverse.mli: Params

@@ -1,0 +1,1 @@
+lib/core/markov.ml: Array Float List Params Qhat Timeouts

@@ -1,0 +1,1 @@
+lib/core/model.ml: Approx_model Full_model Markov Params Qhat String Sweep Tdonly Throughput

@@ -1,0 +1,1 @@
+lib/core/qhat.ml: Float Params

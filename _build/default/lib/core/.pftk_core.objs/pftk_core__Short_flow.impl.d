@@ -1,0 +1,1 @@
+lib/core/short_flow.ml: Float Full_model Params Qhat Timeouts

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Array Float Format List

@@ -1,0 +1,1 @@
+lib/core/tdonly.ml: Float Params

@@ -1,0 +1,1 @@
+lib/core/tfrc.ml: Approx_model Array Float List Params

@@ -1,0 +1,1 @@
+lib/core/throughput.ml: Float Full_model Params Qhat Tdonly Timeouts

@@ -1,0 +1,1 @@
+lib/core/throughput.mli: Params Qhat

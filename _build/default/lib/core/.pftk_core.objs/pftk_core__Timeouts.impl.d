@@ -1,0 +1,1 @@
+lib/core/timeouts.ml: Params

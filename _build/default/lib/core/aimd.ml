@@ -1,0 +1,35 @@
+type t = { alpha : float; beta : float }
+
+let tcp = { alpha = 1.; beta = 0.5 }
+
+let make ~alpha ~beta =
+  if not (alpha > 0.) then invalid_arg "Aimd.make: alpha must be positive";
+  if not (0. < beta && beta < 1.) then invalid_arg "Aimd.make: beta outside (0, 1)";
+  { alpha; beta }
+
+(* Sawtooth between (1-beta) W and W with slope alpha/b per round lasts
+   X = W beta b / alpha rounds and carries ~ W (1 - beta/2) X = 1/p
+   packets, giving W^2 = 2 alpha / (p b beta (2 - beta)). *)
+let e_w { alpha; beta } ~b p =
+  Params.check_p p;
+  if b < 1 then invalid_arg "Aimd.e_w: b must be >= 1";
+  sqrt
+    (2. *. alpha *. (1. -. p)
+    /. (float_of_int b *. beta *. (2. -. beta) *. p))
+
+let send_rate { alpha; beta } ~rtt ~b p =
+  Params.check_p p;
+  if not (rtt > 0.) then invalid_arg "Aimd.send_rate: rtt must be positive";
+  if b < 1 then invalid_arg "Aimd.send_rate: b must be >= 1";
+  sqrt (alpha *. (2. -. beta) /. (2. *. float_of_int b *. beta *. p)) /. rtt
+
+let tcp_friendly_alpha ~beta =
+  if not (0. < beta && beta < 1.) then
+    invalid_arg "Aimd.tcp_friendly_alpha: beta outside (0, 1)";
+  3. *. beta /. (2. -. beta)
+
+let is_tcp_friendly ?(tolerance = 1e-6) { alpha; beta } =
+  (* Rates are proportional to sqrt(alpha (2-beta) / beta); equality with
+     TCP's sqrt(3) is parameter-only. *)
+  let factor = alpha *. (2. -. beta) /. beta in
+  Float.abs (factor -. 3.) /. 3. < tolerance

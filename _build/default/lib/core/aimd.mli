@@ -1,0 +1,45 @@
+(** Generalized AIMD: the paper's derivation with the additive-increase and
+    multiplicative-decrease constants left symbolic.
+
+    TCP is AIMD(1, 1/2): add one packet per round, halve on a TD loss.  The
+    same §II-A argument for any increase [alpha] (packets per round) and
+    decrease factor [beta] (window multiplied by [1 - beta] on loss) gives
+
+    {v
+    E[W] = sqrt( alpha (2 - beta) (1-p) * 2 / (2 b beta p) ) + O(1)
+    B    ~ (1/RTT) sqrt( alpha (2 - beta) / (2 b beta p) )
+    v}
+
+    which reduces to eq. (20) at [alpha = 1, beta = 1/2].  This is the
+    algebra behind "TCP-friendly AIMD" parameter choices: any pair with
+    [alpha = 3 beta / (2 - beta)] gets the same bandwidth share as TCP.
+    The derivation mirrors Section II-A exactly: sawtooth between
+    [(1-beta) W] and [W], duration [b W beta / alpha] rounds, area
+    [1/p] packets per loss. *)
+
+type t = {
+  alpha : float;  (** Additive increase, packets per loss-free round. *)
+  beta : float;  (** Multiplicative decrease: window scales by [1 - beta]. *)
+}
+
+val tcp : t
+(** AIMD(1, 1/2). *)
+
+val make : alpha:float -> beta:float -> t
+(** Requires [alpha > 0] and [0 < beta < 1]. *)
+
+val e_w : t -> b:int -> float -> float
+(** Mean window at the end of a TD period (the eq. (13) analog, leading
+    term).  Reduces to [Tdonly.e_w]'s asymptotic at {!tcp}. *)
+
+val send_rate : t -> rtt:float -> b:int -> float -> float
+(** TD-only send rate (the eq. (20) analog), packets/second. *)
+
+val tcp_friendly_alpha : beta:float -> float
+(** The additive increase that makes AIMD(alpha, beta) consume the same
+    bandwidth as TCP under equal (p, RTT): [alpha = 3 beta / (2 - beta)].
+    E.g. [beta = 1/8] (a "smooth" flow) pairs with [alpha = 0.2]. *)
+
+val is_tcp_friendly : ?tolerance:float -> t -> bool
+(** Whether the pair's send rate matches TCP's within [tolerance]
+    (relative, default 1e-6) at any (p, RTT) — checked algebraically. *)

@@ -1,0 +1,20 @@
+let send_rate_uncapped ~rtt ~t0 ~b p =
+  Params.check_p p;
+  if not (rtt > 0. && t0 > 0.) then
+    invalid_arg "Approx_model: rtt and t0 must be positive";
+  if b < 1 then invalid_arg "Approx_model: b must be >= 1";
+  let bf = float_of_int b in
+  let td_term = rtt *. sqrt (2. *. bf *. p /. 3.) in
+  let to_term =
+    t0
+    *. Float.min 1. (3. *. sqrt (3. *. bf *. p /. 8.))
+    *. p
+    *. (1. +. (32. *. p *. p))
+  in
+  1. /. (td_term +. to_term)
+
+let send_rate (params : Params.t) p =
+  Params.validate params;
+  Float.min
+    (float_of_int params.wm /. params.rtt)
+    (send_rate_uncapped ~rtt:params.rtt ~t0:params.t0 ~b:params.b p)

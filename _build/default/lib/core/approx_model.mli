@@ -1,0 +1,17 @@
+(** The "approximate model" of eqs. (30) and (33): the widely cited one-line
+    PFTK formula,
+
+    {v
+    B(p) = min( Wm/RTT,
+                1 / ( RTT sqrt(2bp/3)
+                      + T0 min(1, 3 sqrt(3bp/8)) p (1 + 32 p^2) ) )
+    v}
+
+    This is the form adopted by TFRC and countless rate controllers; the
+    paper verifies in §III that it tracks the full model closely. *)
+
+val send_rate : Params.t -> float -> float
+(** Eq. (33), packets per second. *)
+
+val send_rate_uncapped : rtt:float -> t0:float -> b:int -> float -> float
+(** Eq. (30): without the [Wm/RTT] clamp. *)

@@ -1,0 +1,93 @@
+type equilibrium = {
+  p : float;
+  per_flow_rate : float;
+  rtt : float;
+  utilization : float;
+  window_limited : bool;
+}
+
+let solve ?(b = 2) ?(wm = Params.unlimited_window) ?(t0_factor = 4.)
+    ?(queue_fill = 0.5) ~flows ~capacity ~buffer ~base_rtt () =
+  if flows < 1 then invalid_arg "Fixed_point.solve: flows must be >= 1";
+  if not (capacity > 0.) then invalid_arg "Fixed_point.solve: capacity must be positive";
+  if buffer < 0 then invalid_arg "Fixed_point.solve: negative buffer";
+  if not (base_rtt > 0.) then invalid_arg "Fixed_point.solve: base_rtt must be positive";
+  if not (0. <= queue_fill && queue_fill <= 1.) then
+    invalid_arg "Fixed_point.solve: queue_fill outside [0, 1]";
+  let fair_share = capacity /. float_of_int flows in
+  let p_min = 1e-7 and p_max = 0.95 in
+  let params_at rtt =
+    Params.make ~b ~wm ~rtt ~t0:(Float.max 1e-3 (t0_factor *. rtt)) ()
+  in
+  (* If the flows cannot fill the link even with an empty queue and
+     negligible loss, the queue stays empty: equilibrium is loss-free at
+     the base RTT. *)
+  let empty_queue = params_at base_rtt in
+  if Full_model.send_rate empty_queue p_min <= fair_share then begin
+    let r = Full_model.send_rate empty_queue p_min in
+    {
+      p = 0.;
+      per_flow_rate = r;
+      rtt = base_rtt;
+      utilization = float_of_int flows *. r /. capacity;
+      window_limited = Full_model.window_limited empty_queue p_min;
+    }
+  end
+  else begin
+    (* Saturated: the queue hovers around [queue_fill] of the buffer. *)
+    let rtt = base_rtt +. (queue_fill *. float_of_int buffer /. capacity) in
+    let params = params_at rtt in
+    let rate p = Full_model.send_rate params p in
+    if rate p_min <= fair_share then begin
+      (* Saturated-queue RTT alone slows the flows to (or below) the fair
+         share: equilibrium sits at negligible loss. *)
+      let r = Float.min fair_share (rate p_min) in
+      {
+        p = 0.;
+        per_flow_rate = r;
+        rtt;
+        utilization = float_of_int flows *. r /. capacity;
+        window_limited = Full_model.window_limited params p_min;
+      }
+    end
+    else begin
+      let rec bisect lo hi n =
+        if n = 0 then (lo +. hi) /. 2.
+        else
+          let mid = sqrt (lo *. hi) in
+          if rate mid > fair_share then bisect mid hi (n - 1)
+          else bisect lo mid (n - 1)
+      in
+      let p = bisect p_min p_max 80 in
+      {
+        p;
+        per_flow_rate = rate p;
+        rtt;
+        utilization = float_of_int flows *. rate p /. capacity;
+        window_limited = Full_model.window_limited params p;
+      }
+    end
+  end
+
+let required_buffer ?(b = 2) ?(target_p = 0.01) ~flows ~capacity ~base_rtt () =
+  if not (target_p > 0. && target_p < 1.) then
+    invalid_arg "Fixed_point.required_buffer: target_p outside (0, 1)";
+  (* Find the buffer at which the equilibrium loss equals target_p.  Larger
+     buffers inflate RTT, which slows the flows and lowers equilibrium
+     loss, so the relation is monotone decreasing in the buffer size. *)
+  let loss_at buffer =
+    (solve ~b ~flows ~capacity ~buffer:(int_of_float buffer) ~base_rtt ()).p
+  in
+  let lo = 0. and hi = 100_000. in
+  if loss_at lo <= target_p then 0.
+  else if loss_at hi >= target_p then hi
+  else begin
+    let rec bisect lo hi n =
+      if n = 0 then (lo +. hi) /. 2.
+      else
+        let mid = (lo +. hi) /. 2. in
+        if loss_at mid > target_p then bisect mid hi (n - 1)
+        else bisect lo mid (n - 1)
+    in
+    bisect lo hi 60
+  end

@@ -1,0 +1,50 @@
+(** Network equilibrium via the model: the provisioning use of the PFTK
+    equation (the line of work the second author took it into — predicting
+    steady-state loss and delay of a congested link from its configuration).
+
+    [N] identical saturated TCP flows share a bottleneck of capacity [C]
+    packets/s with a drop-tail buffer of [B] packets and two-way
+    propagation delay [rtt0].  In equilibrium the flows fill the link, so
+    the per-flow rate, the loss probability and the queueing delay satisfy
+    a fixed point:
+
+    - queue ~ full when the link saturates: [RTT = rtt0 + B/C] (drop-tail);
+    - each flow obeys the model: [rate = B(p, RTT, T0)];
+    - rates fill capacity: [N * rate = C] — losses supply exactly the [p]
+      that makes this hold.
+
+    The solver finds [p] by bisection (the model is monotone in [p]).  If
+    even [p -> 0] cannot fill the link (window-limited flows), the link is
+    underutilized and equilibrium loss is ~0. *)
+
+type equilibrium = {
+  p : float;  (** Equilibrium loss-indication probability (0 if underutilized). *)
+  per_flow_rate : float;  (** packets/s. *)
+  rtt : float;  (** Equilibrium RTT including queueing, seconds. *)
+  utilization : float;  (** [N * rate / C], at most ~1. *)
+  window_limited : bool;  (** Whether flows are pinned by W_m instead of loss. *)
+}
+
+val solve :
+  ?b:int ->
+  ?wm:int ->
+  ?t0_factor:float ->
+  ?queue_fill:float ->
+  flows:int ->
+  capacity:float ->
+  buffer:int ->
+  base_rtt:float ->
+  unit ->
+  equilibrium
+(** [solve ~flows ~capacity ~buffer ~base_rtt ()].  [t0_factor] maps RTT to
+    the timeout duration ([T0 = t0_factor * RTT], default 4); [queue_fill]
+    is the assumed mean occupancy of the buffer as a fraction (default
+    0.5 — drop-tail queues oscillate between ~0 and full under sawtooth
+    flows).  Raises [Invalid_argument] on nonpositive inputs. *)
+
+val required_buffer :
+  ?b:int -> ?target_p:float -> flows:int -> capacity:float -> base_rtt:float ->
+  unit -> float
+(** Buffer (packets) that keeps equilibrium loss at [target_p] (default
+    0.01): inverts the bandwidth-delay relation at the model's operating
+    point — a provisioning helper built on {!solve}. *)

@@ -1,0 +1,57 @@
+let effective_window (params : Params.t) p =
+  Float.min (Tdonly.e_w ~b:params.b p) (float_of_int params.wm)
+
+let window_limited (params : Params.t) p =
+  Params.validate params;
+  Tdonly.e_w ~b:params.b p >= float_of_int params.wm
+
+let timeout_fraction ?(q = Qhat.Closed) (params : Params.t) p =
+  Qhat.eval q ~p (Float.max 1. (effective_window params p))
+
+(* Eq. (28): numerator is packets per S_i cycle (E[Y] + Q E[R]), denominator
+   its duration (E[A] + Q E[Z^TO]). *)
+let send_rate_unconstrained ?(q = Qhat.Closed) (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
+  let ew = Tdonly.e_w ~b:params.b p in
+  let ex = Tdonly.e_x ~b:params.b p in
+  let qhat = Qhat.eval q ~p (Float.max 1. ew) in
+  let numer = ((1. -. p) /. p) +. ew +. (qhat /. (1. -. p)) in
+  let denom =
+    (params.rtt *. (ex +. 1.))
+    +. (qhat *. params.t0 *. Timeouts.f p /. (1. -. p))
+  in
+  numer /. denom
+
+let e_u (params : Params.t) =
+  Params.validate params;
+  float_of_int params.b /. 2. *. float_of_int params.wm
+
+let e_v (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
+  let wm = float_of_int params.wm in
+  ((1. -. p) /. (p *. wm)) +. 1. -. (3. *. float_of_int params.b /. 8. *. wm)
+
+let e_x_limited (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
+  let wm = float_of_int params.wm in
+  (float_of_int params.b /. 8. *. wm) +. ((1. -. p) /. (p *. wm)) +. 1.
+
+let send_rate_limited ?(q = Qhat.Closed) (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
+  let wm = float_of_int params.wm in
+  let qhat = Qhat.eval q ~p (Float.max 1. wm) in
+  let numer = ((1. -. p) /. p) +. wm +. (qhat /. (1. -. p)) in
+  let denom =
+    (params.rtt
+    *. ((float_of_int params.b /. 8. *. wm) +. ((1. -. p) /. (p *. wm)) +. 2.))
+    +. (qhat *. params.t0 *. Timeouts.f p /. (1. -. p))
+  in
+  numer /. denom
+
+let send_rate ?q params p =
+  if window_limited params p then send_rate_limited ?q params p
+  else send_rate_unconstrained ?q params p

@@ -1,0 +1,27 @@
+let loss_for_rate ?(lo = 1e-9) ?(hi = 0.999) ?(tolerance = 1e-9) model target =
+  if not (0. < lo && lo < hi && hi < 1.) then
+    invalid_arg "Inverse.loss_for_rate: need 0 < lo < hi < 1";
+  let rate_lo = model lo and rate_hi = model hi in
+  (* model is decreasing: rate_lo is the highest achievable rate. *)
+  if target > rate_lo || target < rate_hi then None
+  else begin
+    (* Bisection on log p: rates span orders of magnitude over (0, 1). *)
+    let rec bisect log_lo log_hi iter =
+      let log_mid = (log_lo +. log_hi) /. 2. in
+      let mid = exp log_mid in
+      if iter = 0 || (log_hi -. log_lo) < tolerance then mid
+      else if model mid > target then bisect log_mid log_hi (iter - 1)
+      else bisect log_lo log_mid (iter - 1)
+    in
+    Some (bisect (log lo) (log hi) 200)
+  end
+
+let tcp_friendly_rate params p = Full_model.send_rate params p
+let tcp_friendly_rate_simple params p = Approx_model.send_rate params p
+
+let loss_budget params ~rate =
+  loss_for_rate (fun p -> Full_model.send_rate params p) rate
+
+let rate_in_bytes ~mss rate =
+  if mss <= 0 then invalid_arg "Inverse.rate_in_bytes: mss must be positive";
+  float_of_int mss *. rate

@@ -1,0 +1,35 @@
+(** Model inversion: given a target rate, find the loss probability that
+    produces it, and the "TCP-friendly" applications built on top.
+
+    The paper's stated motivation (§I) for a closed-form B(p) is defining a
+    fair-share send rate for non-TCP flows.  A TFRC-style controller
+    measures [p] and [RTT] and sets its rate to [B(p)]; conversely, an
+    admission controller asks what loss budget sustains a desired rate.
+    Every model in the suite is strictly decreasing in [p], so bisection on
+    [log p] is exact and robust. *)
+
+val loss_for_rate :
+  ?lo:float ->
+  ?hi:float ->
+  ?tolerance:float ->
+  (float -> float) ->
+  float ->
+  float option
+(** [loss_for_rate model target] finds [p] in [\[lo, hi\]] (defaults
+    [1e-9, 0.999]) with [model p = target], assuming [model] is decreasing
+    in [p].  [None] when the target lies outside [model hi .. model lo].
+    [tolerance] is relative on [p] (default 1e-9). *)
+
+val tcp_friendly_rate : Params.t -> float -> float
+(** The fair-share send rate a non-TCP flow should adopt under measured
+    loss [p] and the path's parameters: {!Full_model.send_rate}. *)
+
+val tcp_friendly_rate_simple : Params.t -> float -> float
+(** Same using the approximate model (eq. 33), the form TFRC standardized. *)
+
+val loss_budget : Params.t -> rate:float -> float option
+(** Largest loss probability under which the full model still sustains
+    [rate] (packets/s). *)
+
+val rate_in_bytes : mss:int -> float -> float
+(** Convert packets/s to bytes/s at a given maximum segment size. *)

@@ -1,0 +1,121 @@
+type transition = { next : int; prob : float }
+
+type t = {
+  pi : float array;
+  packets : float array;  (* expected packets sent per step, by state *)
+  durations : float array;  (* expected step duration (s), by state *)
+  w_max : int;
+  b : int;
+  iterations : int;
+}
+
+let state_index ~b w c = ((w - 1) * b) + c
+
+(* Expected packets ACKed ahead of the loss in a lossy round of w packets:
+   sum_k k A(w, k).  These are exactly the packets sent in the TDP's final
+   round, so they are the loss-step reward beyond the round itself. *)
+let expected_last_round ~p w =
+  let acc = ref 0. in
+  for k = 1 to w - 1 do
+    acc := !acc +. (float_of_int k *. Qhat.a_prob ~p ~w k)
+  done;
+  !acc
+
+let build ?(q = Qhat.Closed) ~w_max (params : Params.t) p =
+  let b = params.b in
+  let n = w_max * b in
+  let transitions = Array.make n [] in
+  let packets = Array.make n 0. in
+  let durations = Array.make n 0. in
+  let e_r = Timeouts.e_r p in
+  let e_zto = Timeouts.e_zto ~t0:params.t0 p in
+  for w = 1 to w_max do
+    let p_ok = exp (float_of_int w *. Float.log1p (-.p)) in
+    let p_loss = 1. -. p_ok in
+    let qhat = Qhat.eval q ~p (float_of_int w) in
+    let last_round = expected_last_round ~p w in
+    let halved = max 1 (w / 2) in
+    for c = 0 to b - 1 do
+      let s = state_index ~b w c in
+      let grown =
+        if c + 1 >= b then state_index ~b (min (w + 1) w_max) 0
+        else state_index ~b w (c + 1)
+      in
+      let td_next = state_index ~b halved 0 in
+      let to_next = state_index ~b 1 0 in
+      transitions.(s) <-
+        [
+          { next = grown; prob = p_ok };
+          { next = td_next; prob = p_loss *. (1. -. qhat) };
+          { next = to_next; prob = p_loss *. qhat };
+        ];
+      (* Per-step expected rewards: the round always sends w packets in one
+         RTT; a loss adds the final round, and a timeout additionally the
+         backoff sequence. *)
+      packets.(s) <-
+        (float_of_int w +. (p_loss *. (last_round +. (qhat *. e_r))));
+      durations.(s) <-
+        (params.rtt *. (1. +. p_loss)) +. (p_loss *. qhat *. e_zto)
+    done
+  done;
+  (transitions, packets, durations)
+
+let power_iteration transitions ~tolerance ~max_iterations =
+  let n = Array.length transitions in
+  let pi = Array.make n (1. /. float_of_int n) in
+  let next = Array.make n 0. in
+  let rec loop iter =
+    Array.fill next 0 n 0.;
+    for s = 0 to n - 1 do
+      let mass = pi.(s) in
+      if mass > 0. then
+        List.iter
+          (fun { next = s'; prob } -> next.(s') <- next.(s') +. (mass *. prob))
+          transitions.(s)
+    done;
+    let delta = ref 0. in
+    for s = 0 to n - 1 do
+      delta := !delta +. Float.abs (next.(s) -. pi.(s));
+      pi.(s) <- next.(s)
+    done;
+    if !delta < tolerance || iter >= max_iterations then iter else loop (iter + 1)
+  in
+  let iterations = loop 1 in
+  (pi, iterations)
+
+let solve ?(q = Qhat.Closed) ?(max_window = 256) ?(tolerance = 1e-12)
+    ?(max_iterations = 200_000) (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
+  if max_window < 1 then invalid_arg "Markov.solve: max_window must be >= 1";
+  let w_max = min params.wm max_window in
+  let transitions, packets, durations = build ~q ~w_max params p in
+  let pi, iterations = power_iteration transitions ~tolerance ~max_iterations in
+  { pi; packets; durations; w_max; b = params.b; iterations }
+
+let send_rate t =
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun s mass ->
+      num := !num +. (mass *. t.packets.(s));
+      den := !den +. (mass *. t.durations.(s)))
+    t.pi;
+  !num /. !den
+
+let window_distribution t =
+  let dist = Array.make t.w_max 0. in
+  Array.iteri
+    (fun s mass ->
+      let w = (s / t.b) + 1 in
+      dist.(w - 1) <- dist.(w - 1) +. mass)
+    t.pi;
+  dist
+
+let mean_window t =
+  let dist = window_distribution t in
+  let acc = ref 0. in
+  Array.iteri (fun i mass -> acc := !acc +. (float_of_int (i + 1) *. mass)) dist;
+  !acc
+
+let iterations t = t.iterations
+let states t = Array.length t.pi

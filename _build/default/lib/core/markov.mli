@@ -1,0 +1,51 @@
+(** A numerical Markov-reward model of TCP Reno congestion avoidance, in the
+    spirit of the companion report the paper cites as [13] and compares
+    against in Fig. 12.
+
+    The chain's states are pairs [(w, c)]: the congestion window [w] in
+    packets and the delayed-ACK credit [c] (the window grows by one packet
+    every [b] loss-free rounds).  Each step is one round:
+
+    - with probability [(1-p)^w] the round is loss-free (reward [w] packets,
+      [RTT] seconds) and the credit/window advance;
+    - otherwise a loss indication ends the TDP after one further round that
+      carries the expected number of packets ACKed ahead of the loss; the
+      indication is a timeout with probability [Q-hat(w)] (window resets to
+      1 and the step is charged the expected timeout-sequence duration and
+      retransmissions) and a triple-duplicate ACK otherwise (window halves).
+
+    The stationary distribution of the embedded chain is obtained by power
+    iteration, and the send rate is the ratio of expected reward to expected
+    duration per step — no closed-form shortcuts, making this an independent
+    numerical check of eq. (32). *)
+
+type t
+
+val solve :
+  ?q:Qhat.variant ->
+  ?max_window:int ->
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  Params.t ->
+  float ->
+  t
+(** [solve params p] builds and solves the chain.  [max_window] truncates
+    the state space when [params.wm] is unlimited (default 256);
+    [tolerance] is the L1 convergence threshold of the power iteration
+    (default 1e-12). *)
+
+val send_rate : t -> float
+(** Packets per second under the stationary distribution. *)
+
+val mean_window : t -> float
+(** Stationary mean of [w]. *)
+
+val window_distribution : t -> float array
+(** [dist.(w - 1)] is the stationary probability of window size [w]
+    (marginalized over ACK credit). *)
+
+val iterations : t -> int
+(** Power-iteration steps used. *)
+
+val states : t -> int
+(** Number of chain states. *)

@@ -1,0 +1,43 @@
+type kind =
+  | Td_only
+  | Td_only_sqrt
+  | Full
+  | Full_approx_q
+  | Approximate
+  | Throughput_model
+  | Markov
+
+let all =
+  [ Td_only; Td_only_sqrt; Full; Full_approx_q; Approximate; Throughput_model; Markov ]
+
+let name = function
+  | Td_only -> "td-only"
+  | Td_only_sqrt -> "td-only-sqrt"
+  | Full -> "full"
+  | Full_approx_q -> "full-approx-q"
+  | Approximate -> "approximate"
+  | Throughput_model -> "throughput"
+  | Markov -> "markov"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "td-only" | "tdonly" | "mathis" -> Some Td_only
+  | "td-only-sqrt" | "sqrt" -> Some Td_only_sqrt
+  | "full" | "pftk" | "proposed" -> Some Full
+  | "full-approx-q" -> Some Full_approx_q
+  | "approximate" | "approx" -> Some Approximate
+  | "throughput" -> Some Throughput_model
+  | "markov" -> Some Markov
+  | _ -> None
+
+let send_rate kind (params : Params.t) p =
+  match kind with
+  | Td_only -> Tdonly.send_rate ~rtt:params.rtt ~b:params.b p
+  | Td_only_sqrt -> Tdonly.send_rate_sqrt ~rtt:params.rtt ~b:params.b p
+  | Full -> Full_model.send_rate params p
+  | Full_approx_q -> Full_model.send_rate ~q:Qhat.Approximate params p
+  | Approximate -> Approx_model.send_rate params p
+  | Throughput_model -> Throughput.throughput params p
+  | Markov -> Markov.send_rate (Markov.solve params p)
+
+let series kind params ps = Sweep.series (send_rate kind params) ps

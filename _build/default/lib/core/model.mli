@@ -1,0 +1,21 @@
+(** Unified dispatch over every send-rate model in the suite, so the
+    experiment drivers, CLI and benches can treat them uniformly. *)
+
+type kind =
+  | Td_only  (** Eq. (19): Mathis-style baseline, no timeouts, no W_m. *)
+  | Td_only_sqrt  (** Eq. (20): pure square-root law. *)
+  | Full  (** Eq. (32), Q-hat by the closed form (24). *)
+  | Full_approx_q  (** Eq. (32), Q-hat = min(1, 3/w) (25). *)
+  | Approximate  (** Eq. (33). *)
+  | Throughput_model  (** Eq. (37): receiver-side throughput. *)
+  | Markov  (** Numerically solved Markov chain. *)
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+(** Inverse of {!name}; also accepts common aliases ("pftk", "mathis"). *)
+
+val send_rate : kind -> Params.t -> float -> float
+(** Evaluate the chosen model; packets per second. *)
+
+val series : kind -> Params.t -> float array -> Sweep.point list

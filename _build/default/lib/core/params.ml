@@ -1,0 +1,25 @@
+type t = { rtt : float; t0 : float; b : int; wm : int }
+
+let unlimited_window = max_int / 2
+
+let validate t =
+  if not (t.rtt > 0.) then invalid_arg "Params: rtt must be positive";
+  if not (t.t0 > 0.) then invalid_arg "Params: t0 must be positive";
+  if t.b < 1 then invalid_arg "Params: b must be >= 1";
+  if t.wm < 1 then invalid_arg "Params: wm must be >= 1"
+
+let make ?(b = 2) ?(wm = unlimited_window) ~rtt ~t0 () =
+  let t = { rtt; t0; b; wm } in
+  validate t;
+  t
+
+let check_p p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg (Printf.sprintf "loss probability p=%g outside (0, 1)" p)
+
+let pp ppf t =
+  if t.wm >= unlimited_window then
+    Format.fprintf ppf "RTT=%.3fs T0=%.3fs b=%d Wm=unlimited" t.rtt t.t0 t.b
+  else Format.fprintf ppf "RTT=%.3fs T0=%.3fs b=%d Wm=%d" t.rtt t.t0 t.b t.wm
+
+let equal a b = a.rtt = b.rtt && a.t0 = b.t0 && a.b = b.b && a.wm = b.wm

@@ -1,0 +1,92 @@
+type phases = {
+  handshake : float;
+  slow_start : float;
+  recovery : float;
+  congestion_avoidance : float;
+  delayed_ack : float;
+  total : float;
+}
+
+let expected_slow_start_data ~p d =
+  Params.check_p p;
+  if d < 1 then invalid_arg "Short_flow: packets must be >= 1";
+  let df = float_of_int d in
+  (* P[first loss within the transfer] = 1 - (1-p)^d; conditioned on that,
+     the data sent before it is geometric-ish; unconditionally Cardwell's
+     E[d_ss] below.  Cap at d: we cannot slow-start more than the data. *)
+  let e =
+    ((1. -. ((1. -. p) ** df)) *. (1. -. p) /. p) +. 1.
+  in
+  Float.min df e
+
+let gamma ~b = 1. +. (1. /. float_of_int b)
+
+(* Slow start sends w1 * (gamma^k - 1) / (gamma - 1) packets in k rounds.
+   Invert for the rounds and read the final window off the growth curve,
+   switching to linear accumulation once the cap wm is reached. *)
+let uncapped_rounds ~initial_window ~b data =
+  let g = gamma ~b in
+  Float.max 0.
+    (log ((data *. (g -. 1.) /. initial_window) +. 1.) /. log g)
+
+let slow_start_window ?(initial_window = 1.) ~b ~wm data =
+  if not (initial_window >= 1.) then
+    invalid_arg "Short_flow: initial_window must be >= 1";
+  if wm < 1 then invalid_arg "Short_flow: wm must be >= 1";
+  if not (data >= 0.) then invalid_arg "Short_flow: negative data";
+  let g = gamma ~b in
+  let k = uncapped_rounds ~initial_window ~b data in
+  Float.min (float_of_int wm) (initial_window *. (g ** k))
+
+let slow_start_rounds ?(initial_window = 1.) ~b ~wm data =
+  if not (initial_window >= 1.) then
+    invalid_arg "Short_flow: initial_window must be >= 1";
+  if wm < 1 then invalid_arg "Short_flow: wm must be >= 1";
+  if not (data >= 0.) then invalid_arg "Short_flow: negative data";
+  let g = gamma ~b in
+  let wmf = float_of_int wm in
+  (* Data sent by the time the window first reaches wm. *)
+  let rounds_to_cap = log (wmf /. initial_window) /. log g in
+  let data_at_cap = initial_window *. ((g ** rounds_to_cap) -. 1.) /. (g -. 1.) in
+  if data <= data_at_cap then uncapped_rounds ~initial_window ~b data
+  else rounds_to_cap +. ((data -. data_at_cap) /. wmf)
+
+let expected_latency ?(handshake = true) ?(delayed_ack_timeout = 0.1)
+    ?(initial_window = 1.) (params : Params.t) ~p ~packets =
+  Params.validate params;
+  Params.check_p p;
+  if packets < 1 then invalid_arg "Short_flow: packets must be >= 1";
+  if delayed_ack_timeout < 0. then
+    invalid_arg "Short_flow: negative delayed_ack_timeout";
+  let d = float_of_int packets in
+  let d_ss = expected_slow_start_data ~p packets in
+  let t_ss =
+    params.rtt
+    *. slow_start_rounds ~initial_window ~b:params.b ~wm:params.wm d_ss
+  in
+  (* First-loss recovery, conditioned on a loss occurring at all. *)
+  let loss_prob = 1. -. ((1. -. p) ** d) in
+  let w_ss = slow_start_window ~initial_window ~b:params.b ~wm:params.wm d_ss in
+  let q = Qhat.closed_form ~p (Float.max 1. w_ss) in
+  let t_recovery =
+    loss_prob *. ((q *. Timeouts.e_zto ~t0:params.t0 p) +. ((1. -. q) *. params.rtt))
+  in
+  (* Remaining data drains at the steady-state rate of eq. (32). *)
+  let remaining = Float.max 0. (d -. d_ss) in
+  let t_ca =
+    if remaining = 0. then 0. else remaining /. Full_model.send_rate params p
+  in
+  let t_handshake = if handshake then params.rtt else 0. in
+  let t_delack = delayed_ack_timeout in
+  {
+    handshake = t_handshake;
+    slow_start = t_ss;
+    recovery = t_recovery;
+    congestion_avoidance = t_ca;
+    delayed_ack = t_delack;
+    total = t_handshake +. t_ss +. t_recovery +. t_ca +. t_delack;
+  }
+
+let mean_rate phases ~packets =
+  if packets < 1 then invalid_arg "Short_flow.mean_rate: packets must be >= 1";
+  float_of_int packets /. phases.total

@@ -1,0 +1,65 @@
+(** Transfer latency of {e short} flows: the Cardwell extension the paper
+    cites as [2] ("Modeling the performance of short TCP connections") and
+    lists as future work.
+
+    The steady-state rate B(p) of eq. (32) only describes bulk transfers;
+    a short flow (a 1998 web page!) spends most of its life in the initial
+    slow start.  This model composes four phases for a transfer of [d]
+    packets:
+
+    + {b slow start}: the window grows by a factor [gamma = 1 + 1/b] per
+      round from [initial_window] until the first loss or until the data
+      (or [W_m]) runs out;
+    + {b first-loss recovery}: with probability [1 - (1-p)^d] the transfer
+      hits a loss, costing either a timeout sequence (probability
+      [Q-hat(w_ss)]) or a fast-retransmit RTT;
+    + {b congestion avoidance}: whatever data remains drains at the
+      steady-state rate B(p);
+    + optionally the {b initial handshake} (one RTT) and the first
+      segment's {b delayed-ACK} penalty.
+
+    For [d -> infinity] the per-packet latency tends to [1 / B(p)]
+    (property-tested), so the short-flow model is a strict refinement of
+    the paper's bulk model. *)
+
+type phases = {
+  handshake : float;  (** Connection establishment, seconds. *)
+  slow_start : float;  (** Expected slow-start duration, seconds. *)
+  recovery : float;  (** Expected first-loss recovery cost, seconds. *)
+  congestion_avoidance : float;  (** Remaining-data drain time, seconds. *)
+  delayed_ack : float;  (** First-segment delayed-ACK penalty, seconds. *)
+  total : float;
+}
+
+val expected_slow_start_data : p:float -> int -> float
+(** [expected_slow_start_data ~p d]: expected number of the [d] packets
+    sent in the initial slow-start phase,
+    [(1 - (1-p)^d)(1-p)/p + 1] capped at [d] (Cardwell eq. for E[d_ss]). *)
+
+val slow_start_window : ?initial_window:float -> b:int -> wm:int -> float -> float
+(** Window reached after sending a given amount of data in slow start,
+    capped at [wm]. *)
+
+val slow_start_rounds : ?initial_window:float -> b:int -> wm:int -> float -> float
+(** Rounds needed to send that data growing geometrically by
+    [gamma = 1 + 1/b] per round (with the cap, growth continues linearly
+    at [wm] per round). *)
+
+val expected_latency :
+  ?handshake:bool ->
+  ?delayed_ack_timeout:float ->
+  ?initial_window:float ->
+  Params.t ->
+  p:float ->
+  packets:int ->
+  phases
+(** [expected_latency params ~p ~packets] is the expected completion time
+    of a [packets]-long transfer.  [handshake] (default true) charges one
+    RTT for connection setup; [delayed_ack_timeout] (default 0.1 s, the
+    conventional E[delay] = half the 200 ms timer) is the expected wait
+    for the lone first-segment ACK; [initial_window] defaults to 1.
+    Raises [Invalid_argument] when [packets < 1] or [p] is out of
+    range. *)
+
+val mean_rate : phases -> packets:int -> float
+(** Effective packets/second of the whole transfer. *)

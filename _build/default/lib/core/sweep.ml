@@ -1,0 +1,34 @@
+let logspace ~lo ~hi ~n =
+  if not (0. < lo && lo <= hi) then invalid_arg "Sweep.logspace: need 0 < lo <= hi";
+  if n < 1 then invalid_arg "Sweep.logspace: n must be >= 1";
+  if n = 1 then begin
+    if lo <> hi then invalid_arg "Sweep.logspace: n = 1 requires lo = hi";
+    [| lo |]
+  end
+  else
+    let ratio = log (hi /. lo) /. float_of_int (n - 1) in
+    Array.init n (fun i -> lo *. exp (ratio *. float_of_int i))
+
+let linspace ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Sweep.linspace: n must be >= 1";
+  if n = 1 then [| lo |]
+  else
+    let step = (hi -. lo) /. float_of_int (n - 1) in
+    Array.init n (fun i -> lo +. (step *. float_of_int i))
+
+type point = { p : float; rate : float }
+
+let series model ps =
+  Array.to_list ps
+  |> List.filter_map (fun p ->
+         match model p with
+         | rate when Float.is_finite rate -> Some { p; rate }
+         | _ -> None
+         | exception Invalid_argument _ -> None)
+
+let paper_loss_grid () = logspace ~lo:1e-4 ~hi:0.8 ~n:60
+
+let pp_series ppf points =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun { p; rate } -> Format.fprintf ppf "%.6g %.6g@ " p rate) points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,21 @@
+(** Parameter sweeps: the raw series behind every model curve in the
+    paper's figures. *)
+
+val logspace : lo:float -> hi:float -> n:int -> float array
+(** [n] points geometrically spaced from [lo] to [hi] inclusive.
+    Requires [0 < lo <= hi] and [n >= 2] (or [n = 1] when [lo = hi]). *)
+
+val linspace : lo:float -> hi:float -> n:int -> float array
+
+type point = { p : float; rate : float }
+
+val series : (float -> float) -> float array -> point list
+(** Evaluate a model over the given loss probabilities; points where the
+    model raises or returns a non-finite value are dropped. *)
+
+val paper_loss_grid : unit -> float array
+(** The grid used by the figure drivers: 60 log-spaced points covering
+    [p] from [1e-4] to [0.8], the x-range of Figs. 7 and 12. *)
+
+val pp_series : Format.formatter -> point list -> unit
+(** Two-column [p rate] listing, one point per line. *)

@@ -1,0 +1,46 @@
+let check ~b p =
+  Params.check_p p;
+  if b < 1 then invalid_arg "Tdonly: b must be >= 1"
+
+let e_alpha p =
+  Params.check_p p;
+  1. /. p
+
+(* Eq. (13).  The constant (2+b)/(3b) appears twice; name it. *)
+let e_w ~b p =
+  check ~b p;
+  let c = float_of_int (2 + b) /. (3. *. float_of_int b) in
+  c +. sqrt ((8. *. (1. -. p) /. (3. *. float_of_int b *. p)) +. (c *. c))
+
+let e_w_asymptotic ~b p =
+  check ~b p;
+  sqrt (8. /. (3. *. float_of_int b *. p))
+
+(* Eq. (15). *)
+let e_x ~b p =
+  check ~b p;
+  let c = float_of_int (2 + b) /. 6. in
+  c +. sqrt ((2. *. float_of_int b *. (1. -. p) /. (3. *. p)) +. (c *. c))
+
+let e_a ~rtt ~b p =
+  if not (rtt > 0.) then invalid_arg "Tdonly.e_a: rtt must be positive";
+  rtt *. (e_x ~b p +. 1.)
+
+let e_y ~b p =
+  check ~b p;
+  ((1. -. p) /. p) +. e_w ~b p
+
+(* Eq. (19): B = E[Y] / E[A]. *)
+let send_rate ~rtt ~b p = e_y ~b p /. e_a ~rtt ~b p
+
+let send_rate_sqrt ~rtt ~b p =
+  check ~b p;
+  if not (rtt > 0.) then invalid_arg "Tdonly.send_rate_sqrt: rtt must be positive";
+  sqrt (3. /. (2. *. float_of_int b *. p)) /. rtt
+
+let send_rate_capped (params : Params.t) p =
+  Float.min
+    (float_of_int params.wm /. params.rtt)
+    (send_rate ~rtt:params.rtt ~b:params.b p)
+
+let mathis = send_rate

@@ -1,0 +1,42 @@
+(** Section II-A: loss indications are exclusively triple-duplicate ACKs.
+
+    These are the closed forms for the means of the triple-duplicate-period
+    (TDP) quantities, culminating in the TD-only send rate of eq. (19) and
+    its square-root asymptotic of eq. (20).  The same expressions are the
+    "TD only" baseline the paper compares against (Mathis et al. [9] /
+    Mahdavi-Floyd [8], with delayed ACKs).
+
+    All [p] arguments must satisfy [0 < p < 1] (checked). *)
+
+val e_w : b:int -> float -> float
+(** Eq. (13): expected unconstrained window size at the end of a TDP,
+    [E[W] = (2+b)/(3b) + sqrt(8(1-p)/(3bp) + ((2+b)/(3b))^2)]. *)
+
+val e_w_asymptotic : b:int -> float -> float
+(** Eq. (14): [sqrt(8 / (3 b p))], the small-[p] leading term of {!e_w}. *)
+
+val e_x : b:int -> float -> float
+(** Eq. (15): expected number of rounds in a TDP. *)
+
+val e_a : rtt:float -> b:int -> float -> float
+(** Eq. (16): expected TDP duration, [RTT * (E[X] + 1)]. *)
+
+val e_y : b:int -> float -> float
+(** Eq. (5): expected packets per TDP, [(1-p)/p + E[W]]. *)
+
+val e_alpha : float -> float
+(** Eq. (4): expected packets up to and including the first loss, [1/p]. *)
+
+val send_rate : rtt:float -> b:int -> float -> float
+(** Eq. (19): the exact TD-only send rate [E[Y] / E[A]], packets/second. *)
+
+val send_rate_sqrt : rtt:float -> b:int -> float -> float
+(** Eq. (20): the square-root approximation [(1/RTT) sqrt(3 / (2bp))]. *)
+
+val send_rate_capped : Params.t -> float -> float
+(** {!send_rate} additionally clamped at [wm / rtt]; the best case the
+    TD-only family can claim once the receiver window binds. *)
+
+val mathis : rtt:float -> b:int -> float -> float
+(** The baseline of [8]/[9] exactly as the paper plots it ("TD only"):
+    identical to {!send_rate}. Provided under its conventional name. *)

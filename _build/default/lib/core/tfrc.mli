@@ -1,0 +1,72 @@
+(** TFRC-style equation-based rate control: the "TCP-friendly" application
+    the paper's introduction motivates (and which later standardized the
+    approximate model of eq. (33) as its throughput equation).
+
+    Two pieces:
+
+    - {!Loss_history} implements the loss {e event} rate estimator: loss
+      events (not individual packets) separated into intervals, with the
+      average interval computed over the last eight intervals using the
+      standard decaying weights [1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2] and the
+      history-discounting rule that lets a long current interval raise the
+      estimate immediately.  [p = 1 / average interval].
+    - {!Controller} combines the estimator with a smoothed RTT and the
+      PFTK equation: before the first loss event it doubles its rate each
+      feedback epoch (slow start); afterwards it paces at eq. (33)
+      evaluated at the measured loss event rate. *)
+
+module Loss_history : sig
+  type t
+
+  val create : ?intervals:int -> unit -> t
+  (** [intervals] is the history depth (default 8, the RFC value;
+      must be >= 2). *)
+
+  val on_packet : t -> lost:bool -> unit
+  (** Feed each packet in sequence.  A lost packet begins a new loss event
+      unless the current event is still "open" (within {!set_event_span}
+      packets of the event start, modeling the one-RTT grouping rule). *)
+
+  val set_event_span : t -> int -> unit
+  (** Packets after an event's first loss that still belong to the same
+      event (callers set this to the current window; default 1 = every
+      loss is its own event). *)
+
+  val loss_events : t -> int
+  val packets_seen : t -> int
+
+  val average_interval : t -> float option
+  (** Weighted average loss interval, [None] before the first event. *)
+
+  val loss_event_rate : t -> float option
+  (** [1 / average_interval]. *)
+end
+
+module Controller : sig
+  type t
+
+  val create :
+    ?initial_rate:float ->
+    ?min_rate:float ->
+    ?rtt_gain:float ->
+    ?t0_factor:float ->
+    unit ->
+    t
+  (** [initial_rate] (default 1 packet/s), [min_rate] floor (default one
+      packet per 64 s, the protocol's trickle rate), [rtt_gain] the EWMA
+      gain for RTT smoothing (default 0.1), [t0_factor] the RTO stand-in
+      [T0 = t0_factor * RTT] (default 4, the RFC rule). *)
+
+  val on_rtt_sample : t -> float -> unit
+  val on_packet : t -> lost:bool -> unit
+  val feedback_epoch : t -> unit
+  (** Mark the end of a feedback interval (once per RTT): updates the
+      allowed rate — doubling while no loss event has ever been seen,
+      eq. (33) afterwards. *)
+
+  val allowed_rate : t -> float
+  (** Current allowed send rate, packets/second. *)
+
+  val loss_event_rate : t -> float option
+  val smoothed_rtt : t -> float option
+end

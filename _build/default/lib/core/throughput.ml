@@ -1,0 +1,35 @@
+let send_rate = Full_model.send_rate
+
+(* Shared denominators with Full_model; only the numerator swaps E[Y] for
+   E[Y'] = (1-p)/p + E[W]/2 and Q E[R] for Q * 1. *)
+let throughput_unconstrained ?(q = Qhat.Closed) (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
+  let ew = Tdonly.e_w ~b:params.b p in
+  let ex = Tdonly.e_x ~b:params.b p in
+  let qhat = Qhat.eval q ~p (Float.max 1. ew) in
+  let numer = ((1. -. p) /. p) +. (ew /. 2.) +. qhat in
+  let denom =
+    (params.rtt *. (ex +. 1.))
+    +. (qhat *. Timeouts.f p *. params.t0 /. (1. -. p))
+  in
+  numer /. denom
+
+let throughput_limited ?(q = Qhat.Closed) (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
+  let wm = float_of_int params.wm in
+  let qhat = Qhat.eval q ~p (Float.max 1. wm) in
+  let numer = ((1. -. p) /. p) +. (wm /. 2.) +. qhat in
+  let denom =
+    (params.rtt
+    *. ((float_of_int params.b /. 8. *. wm) +. ((1. -. p) /. (p *. wm)) +. 2.))
+    +. (qhat *. Timeouts.f p *. params.t0 /. (1. -. p))
+  in
+  numer /. denom
+
+let throughput ?q (params : Params.t) p =
+  if Full_model.window_limited params p then throughput_limited ?q params p
+  else throughput_unconstrained ?q params p
+
+let delivery_ratio ?q params p = throughput ?q params p /. send_rate ?q params p

@@ -1,0 +1,28 @@
+(** Section V: throughput — data {e received} per unit time — as opposed to
+    send rate (data sent, including packets destined to be lost).
+
+    Only the numerator of eq. (21) changes: a TDP delivers
+    [E[Y'] = E[alpha] + E[W] - E[beta] - 1] packets (the last round's
+    [beta] packets are lost along with the triggering packet), and a
+    timeout sequence delivers exactly one packet (eq. 35).
+
+    The paper's printed eq. (37)/(38) hardcodes the delayed-ACK case
+    [b = 2]; this module keeps [b] symbolic, so [b = 2] reproduces the
+    printed formulas exactly (tested). *)
+
+val send_rate : ?q:Qhat.variant -> Params.t -> float -> float
+(** Alias for {!Full_model.send_rate}, for side-by-side comparison
+    (Fig. 13). *)
+
+val throughput : ?q:Qhat.variant -> Params.t -> float -> float
+(** Eq. (37): T(p), packets per second delivered to the receiver. *)
+
+val throughput_unconstrained : ?q:Qhat.variant -> Params.t -> float -> float
+(** First branch of eq. (37) regardless of regime. *)
+
+val throughput_limited : ?q:Qhat.variant -> Params.t -> float -> float
+(** Second branch of eq. (37) regardless of regime. *)
+
+val delivery_ratio : ?q:Qhat.variant -> Params.t -> float -> float
+(** [throughput / send_rate]: fraction of sent packets that are delivered;
+    in [\[0, 1\]] and decreasing in [p]. *)

@@ -1,0 +1,1 @@
+lib/dataset/host.mli: Format

@@ -1,0 +1,1 @@
+lib/dataset/path_profile.ml: List Pftk_core Printf Table2_data

@@ -1,0 +1,1 @@
+lib/dataset/path_profile.mli: Pftk_core Table2_data

@@ -1,0 +1,1 @@
+lib/dataset/table2_data.ml: Array List

@@ -1,0 +1,1 @@
+lib/dataset/workload.ml: Array Float Host Int64 List Path_profile Pftk_loss Pftk_stats Pftk_tcp Pftk_trace Table2_data

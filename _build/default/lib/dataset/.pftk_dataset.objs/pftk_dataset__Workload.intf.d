@@ -1,0 +1,1 @@
+lib/dataset/workload.mli: Path_profile Pftk_loss Pftk_stats Pftk_tcp Pftk_trace

@@ -1,0 +1,41 @@
+type os_family = Sunos4 | Sunos5 | Linux | Irix | Hpux | Win95 | Solaris
+
+type t = { name : string; domain : string; os : string; family : os_family }
+
+let host name domain os family = { name; domain; os; family }
+
+(* Table I, verbatim. *)
+let all =
+  [
+    host "ada" "hofstra.edu" "Irix 6.2" Irix;
+    host "afer" "cs.umn.edu" "Linux" Linux;
+    host "al" "cs.wm.edu" "Linux 2.0.31" Linux;
+    host "alps" "cc.gatech.edu" "SunOS 4.1.3" Sunos4;
+    host "babel" "cs.umass.edu" "SunOS 5.5.1" Sunos5;
+    host "baskerville" "cs.arizona.edu" "SunOS 5.5.1" Sunos5;
+    host "ganef" "cs.ucla.edu" "SunOS 5.5.1" Sunos5;
+    host "imagine" "cs.umass.edu" "win95" Win95;
+    host "manic" "cs.umass.edu" "Irix 6.2" Irix;
+    host "mafalda" "inria.fr" "SunOS 5.5.1" Sunos5;
+    host "maria" "wustl.edu" "SunOS 4.1.3" Sunos4;
+    host "modi4" "ncsa.uiuc.edu" "Irix 6.2" Irix;
+    host "pif" "inria.fr" "Solaris 2.5" Solaris;
+    host "pong" "usc.edu" "HP-UX" Hpux;
+    host "spiff" "sics.se" "SunOS 4.1.4" Sunos4;
+    host "sutton" "cs.columbia.edu" "SunOS 5.5.1" Sunos5;
+    host "tove" "cs.umd.edu" "SunOS 4.1.3" Sunos4;
+    host "void" "cs.umass.edu" "Linux 2.0.30" Linux;
+    host "att" "att.com" "Linux" Linux;
+  ]
+
+let find name = List.find_opt (fun h -> h.name = name) all
+
+type tweaks = { dup_ack_threshold : int; backoff_cap : int }
+
+let reno_tweaks = function
+  | Linux -> { dup_ack_threshold = 2; backoff_cap = 6 }
+  | Irix -> { dup_ack_threshold = 3; backoff_cap = 5 }
+  | Sunos4 | Sunos5 | Hpux | Win95 | Solaris ->
+      { dup_ack_threshold = 3; backoff_cap = 6 }
+
+let pp ppf h = Format.fprintf ppf "%-12s %-16s %s" h.name h.domain h.os

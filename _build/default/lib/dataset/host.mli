@@ -1,0 +1,32 @@
+(** Table I: the measurement hosts, their domains and operating systems.
+
+    The OS matters because stack quirks shift model inputs (§IV): Linux
+    fires a TD after two duplicate ACKs, Irix caps exponential backoff at
+    2^5, SunOS 4.x is Tahoe-derived.  {!reno_tweaks} maps each OS family to
+    the corresponding simulator knobs. *)
+
+type os_family = Sunos4 | Sunos5 | Linux | Irix | Hpux | Win95 | Solaris
+
+type t = {
+  name : string;
+  domain : string;
+  os : string;  (** Verbatim Table I string. *)
+  family : os_family;
+}
+
+val all : t list
+(** The 19 hosts of Table I. *)
+
+val find : string -> t option
+(** Lookup by host name. *)
+
+type tweaks = {
+  dup_ack_threshold : int;
+  backoff_cap : int;
+}
+
+val reno_tweaks : os_family -> tweaks
+(** Linux: threshold 2; Irix: backoff cap 5; everything else: the defaults
+    (threshold 3, cap 6). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+type t = {
+  sender : string;
+  receiver : string;
+  rtt : float;
+  t0 : float;
+  wm : int;
+  wm_published : bool;
+  loss_rate : float;
+  table2 : Table2_data.row option;
+}
+
+(* W_m per path.  Published values come from the Fig. 7 captions; the rest
+   are fitted offline as the integer W_m at which the full model, evaluated
+   at the row's published (p, RTT, T0), best matches the row's hourly packet
+   count (see DESIGN.md).  The fit independently recovers the published
+   W_m = 6 for manic-baskerville, and assigns W_m = 3..5 exactly to the
+   rows with near-zero TD counts -- windows too small for three duplicate
+   ACKs, which is the paper's own explanation for TO dominance. *)
+let wm_table =
+  [
+    ("manic", "alps", 5, false);
+    ("manic", "baskerville", 6, true);
+    ("manic", "ganef", 6, false);
+    ("manic", "mafalda", 5, false);
+    ("manic", "maria", 5, false);
+    ("manic", "spiff", 10, false);
+    ("manic", "sutton", 9, false);
+    ("manic", "tove", 3, false);
+    ("void", "alps", 48, true);
+    ("void", "baskerville", 7, false);
+    ("void", "ganef", 6, false);
+    ("void", "maria", 5, false);
+    ("void", "spiff", 11, false);
+    ("void", "sutton", 8, false);
+    ("void", "tove", 8, true);
+    ("babel", "alps", 3, false);
+    ("babel", "baskerville", 7, false);
+    ("babel", "ganef", 8, false);
+    ("babel", "spiff", 9, false);
+    ("babel", "sutton", 8, false);
+    ("babel", "tove", 6, false);
+    ("pif", "alps", 10, false);
+    ("pif", "imagine", 8, true);
+    ("pif", "manic", 33, true);
+  ]
+
+let of_row (row : Table2_data.row) =
+  let wm, wm_published =
+    match
+      List.find_opt
+        (fun (s, r, _, _) -> s = row.sender && r = row.receiver)
+        wm_table
+    with
+    | Some (_, _, wm, published) -> (wm, published)
+    | None -> (12, false)
+  in
+  {
+    sender = row.sender;
+    receiver = row.receiver;
+    rtt = row.rtt;
+    t0 = row.timeout;
+    wm;
+    wm_published;
+    loss_rate = Table2_data.observed_p row;
+    table2 = Some row;
+  }
+
+let all = List.map of_row Table2_data.rows
+
+(* Paths that appear only in the 100-s experiments (Fig. 8) or the modem
+   study (Fig. 11).  att-sutton and manic-afer have no published row; their
+   parameters are picked to resemble their Fig. 8 neighbours. *)
+let extras =
+  [
+    {
+      sender = "att";
+      receiver = "sutton";
+      rtt = 0.21;
+      t0 = 0.7;
+      wm = 8;
+      wm_published = false;
+      loss_rate = 0.025;
+      table2 = None;
+    };
+    {
+      sender = "manic";
+      receiver = "afer";
+      rtt = 0.26;
+      t0 = 1.5;
+      wm = 6;
+      wm_published = false;
+      loss_rate = 0.03;
+      table2 = None;
+    };
+    {
+      (* Fig. 11's modem receiver ("p5", a Linux PC behind 28.8 kbit/s). *)
+      sender = "manic";
+      receiver = "p5";
+      rtt = 4.726;
+      t0 = 18.407;
+      wm = 22;
+      wm_published = true;
+      loss_rate = 0.02;
+      table2 = None;
+    };
+  ]
+
+let find ~sender ~receiver =
+  List.find_opt (fun p -> p.sender = sender && p.receiver = receiver) (all @ extras)
+
+let params t = Pftk_core.Params.make ~rtt:t.rtt ~t0:t.t0 ~wm:t.wm ()
+
+let label t = t.sender ^ "-" ^ t.receiver
+
+let get ~sender ~receiver =
+  match find ~sender ~receiver with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Path_profile: unknown path %s-%s" sender receiver)
+
+let fig7_paths =
+  [
+    get ~sender:"manic" ~receiver:"baskerville";
+    get ~sender:"pif" ~receiver:"imagine";
+    get ~sender:"pif" ~receiver:"manic";
+    get ~sender:"void" ~receiver:"alps";
+    get ~sender:"void" ~receiver:"tove";
+    get ~sender:"babel" ~receiver:"alps";
+  ]
+
+let fig8_paths =
+  [
+    get ~sender:"manic" ~receiver:"ganef";
+    get ~sender:"manic" ~receiver:"mafalda";
+    get ~sender:"manic" ~receiver:"tove";
+    get ~sender:"manic" ~receiver:"maria";
+    get ~sender:"att" ~receiver:"sutton";
+    get ~sender:"manic" ~receiver:"afer";
+  ]
+
+let modem = get ~sender:"manic" ~receiver:"p5"

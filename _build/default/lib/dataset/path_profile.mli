@@ -1,0 +1,45 @@
+(** Synthetic path profiles: one per measured sender-receiver pair.
+
+    Each profile carries the path parameters the paper published (RTT and
+    T0 from Table II; W_m from the Fig. 7 captions where given, assigned a
+    plausible per-OS value elsewhere — documented in DESIGN.md) plus the
+    loss level needed to drive the simulators.  The paper's 100-s pairs
+    that have no Table II row (att-sutton, manic-afer of Fig. 8, and the
+    modem path of Fig. 11) get profiles calibrated from the figure
+    captions and surrounding text. *)
+
+type t = {
+  sender : string;
+  receiver : string;
+  rtt : float;
+  t0 : float;
+  wm : int;
+  wm_published : bool;  (** [true] when W_m comes from a figure caption. *)
+  loss_rate : float;  (** Target loss-indication frequency (Table II's p). *)
+  table2 : Table2_data.row option;  (** The published row, when one exists. *)
+}
+
+val all : t list
+(** The 24 Table II paths, in paper order. *)
+
+val extras : t list
+(** att-sutton and manic-afer (Fig. 8), and manic-p5, the 28.8 kbit/s
+    modem path of Fig. 11. *)
+
+val find : sender:string -> receiver:string -> t option
+(** Searches {!all} then {!extras}. *)
+
+val params : t -> Pftk_core.Params.t
+(** Model parameters of the path (b = 2 throughout, as in the paper). *)
+
+val label : t -> string
+(** ["sender-receiver"]. *)
+
+val fig7_paths : t list
+(** The six paths plotted in Fig. 7, in subfigure order (a)-(f). *)
+
+val fig8_paths : t list
+(** The six paths plotted in Fig. 8, in subfigure order (a)-(f). *)
+
+val modem : t
+(** manic-p5 (Fig. 11): RTT 4.726 s, T0 18.407 s, W_m 22. *)

@@ -1,0 +1,62 @@
+type row = {
+  sender : string;
+  receiver : string;
+  packets_sent : int;
+  loss_indications : int;
+  td : int;
+  to_counts : int array;
+  rtt : float;
+  timeout : float;
+}
+
+let row sender receiver packets_sent loss_indications td t0 t1 t2 t3 t4 t5 rtt
+    timeout =
+  {
+    sender;
+    receiver;
+    packets_sent;
+    loss_indications;
+    td;
+    to_counts = [| t0; t1; t2; t3; t4; t5 |];
+    rtt;
+    timeout;
+  }
+
+(* Table II, verbatim from the paper. *)
+let rows =
+  [
+    row "manic" "alps" 54402 722 19 611 67 15 6 2 2 0.207 2.505;
+    row "manic" "baskerville" 58120 735 306 411 17 1 0 0 0 0.243 2.495;
+    row "manic" "ganef" 58924 743 272 444 22 4 1 0 0 0.226 2.405;
+    row "manic" "mafalda" 56283 494 2 474 17 1 0 0 0 0.233 2.146;
+    row "manic" "maria" 68752 649 1 604 35 8 1 0 0 0.180 2.416;
+    row "manic" "spiff" 117992 784 47 702 34 1 0 0 0 0.211 2.274;
+    row "manic" "sutton" 81123 1638 988 597 41 7 3 1 1 0.204 2.459;
+    row "manic" "tove" 7938 264 1 190 37 18 8 3 7 0.275 3.597;
+    row "void" "alps" 37137 838 7 588 164 56 17 4 2 0.162 0.489;
+    row "void" "baskerville" 32042 853 339 430 67 12 5 0 0 0.482 1.094;
+    row "void" "ganef" 60770 1112 414 582 79 20 9 4 2 0.254 0.637;
+    row "void" "maria" 93005 1651 33 1344 197 54 15 5 3 0.152 0.417;
+    row "void" "spiff" 65536 671 72 539 56 4 0 0 0 0.415 0.749;
+    row "void" "sutton" 78246 1928 840 863 152 45 18 9 1 0.211 0.601;
+    row "void" "tove" 8265 856 5 444 209 100 51 27 12 0.272 1.356;
+    row "babel" "alps" 13460 1466 0 1068 247 87 33 18 8 0.194 1.359;
+    row "babel" "baskerville" 62237 1753 197 1467 76 10 3 0 0 0.253 0.429;
+    row "babel" "ganef" 86675 2125 398 1686 38 2 1 0 0 0.201 0.306;
+    row "babel" "spiff" 57687 1120 0 939 137 36 7 1 0 0.331 0.953;
+    row "babel" "sutton" 83486 2320 685 1448 142 31 9 4 1 0.210 0.705;
+    row "babel" "tove" 83944 1516 1 1364 118 17 7 5 3 0.194 0.520;
+    row "pif" "alps" 83971 762 0 577 111 46 16 8 2 0.168 7.278;
+    row "pif" "imagine" 44891 1346 15 1044 186 63 21 10 5 0.229 0.700;
+    row "pif" "manic" 34251 1422 43 944 272 105 36 14 6 0.257 1.454;
+  ]
+
+let find ~sender ~receiver =
+  List.find_opt (fun r -> r.sender = sender && r.receiver = receiver) rows
+
+let observed_p r =
+  float_of_int r.loss_indications /. float_of_int r.packets_sent
+
+let timeout_fraction r =
+  let timeouts = Array.fold_left ( + ) 0 r.to_counts in
+  float_of_int timeouts /. float_of_int r.loss_indications

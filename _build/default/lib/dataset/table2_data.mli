@@ -1,0 +1,30 @@
+(** Table II verbatim: the published summaries of the 24 one-hour traces.
+
+    These numbers serve two purposes: they calibrate the synthetic path
+    profiles (RTT, T0 and loss level per sender-receiver pair), and they
+    are the paper-side reference EXPERIMENTS.md compares the regenerated
+    table against. *)
+
+type row = {
+  sender : string;
+  receiver : string;
+  packets_sent : int;
+  loss_indications : int;
+  td : int;
+  to_counts : int array;  (** T0, T1, T2, T3, T4, "T5 or more" — 6 cells. *)
+  rtt : float;  (** seconds. *)
+  timeout : float;  (** average single-timeout duration T_0, seconds. *)
+}
+
+val rows : row list
+(** All 24 rows, in the paper's order. *)
+
+val find : sender:string -> receiver:string -> row option
+
+val observed_p : row -> float
+(** loss indications / packets sent, the paper's estimate of p. *)
+
+val timeout_fraction : row -> float
+(** Fraction of loss indications that are timeouts (any depth): the
+    paper's headline observation is that this is the majority in almost
+    every trace. *)

@@ -1,0 +1,115 @@
+module Round_sim = Pftk_tcp.Round_sim
+module Loss_process = Pftk_loss.Loss_process
+module Recorder = Pftk_trace.Recorder
+
+type calibration = { p : float; burst_prob : float; mean_burst_rounds : float }
+
+type trace = {
+  profile : Path_profile.t;
+  recorder : Recorder.t;
+  result : Round_sim.result;
+}
+
+let sim_config (profile : Path_profile.t) =
+  let base = Round_sim.config_of_params (Path_profile.params profile) in
+  match Host.find profile.sender with
+  | None -> base
+  | Some host ->
+      let tweaks = Host.reno_tweaks host.Host.family in
+      {
+        base with
+        Round_sim.dup_ack_threshold = tweaks.Host.dup_ack_threshold;
+        backoff_cap = tweaks.Host.backoff_cap;
+      }
+
+let mean_depth to_counts =
+  let total = Array.fold_left ( + ) 0 to_counts in
+  if total = 0 then 1.
+  else begin
+    let weighted = ref 0 in
+    Array.iteri (fun i n -> weighted := !weighted + ((i + 1) * n)) to_counts;
+    float_of_int !weighted /. float_of_int total
+  end
+
+let targets (profile : Path_profile.t) =
+  match profile.table2 with
+  | Some row ->
+      ( Table2_data.observed_p row,
+        Table2_data.timeout_fraction row,
+        mean_depth row.Table2_data.to_counts )
+  | None -> (profile.loss_rate, 0.7, 1.2)
+
+let loss_process rng { p; burst_prob; mean_burst_rounds } =
+  Loss_process.episodic rng ~p ~burst_prob ~mean_burst_rounds
+
+let observe (result : Round_sim.result) =
+  let indications = result.Round_sim.loss_indications in
+  let to_frac =
+    if indications = 0 then 0.
+    else float_of_int result.Round_sim.to_sequences /. float_of_int indications
+  in
+  (result.Round_sim.observed_p, to_frac, mean_depth result.Round_sim.to_by_backoff)
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let calibrate ?(seed = 11L) ?(duration = 600.) ?(iterations = 5) profile =
+  if iterations < 1 then invalid_arg "Workload.calibrate: iterations < 1";
+  let target_rate, target_to, target_depth = targets profile in
+  let rec refine cal remaining =
+    if remaining = 0 then cal
+    else begin
+      let rng = Pftk_stats.Rng.create ~seed () in
+      let result =
+        Round_sim.run ~seed ~duration ~loss:(loss_process rng cal)
+          (sim_config profile)
+      in
+      let rate, to_frac, depth = observe result in
+      let p =
+        if rate <= 0. then clamp 1e-5 0.9 (cal.p *. 2.)
+        else clamp 1e-5 0.9 (cal.p *. (target_rate /. rate))
+      in
+      let burst_prob =
+        clamp 0. 1. (cal.burst_prob +. (0.8 *. (target_to -. to_frac)))
+      in
+      let mean_burst_rounds =
+        if depth <= 1. && target_depth <= 1. then cal.mean_burst_rounds
+        else
+          clamp 1. 30.
+            (cal.mean_burst_rounds
+            *. ((target_depth -. 0.99) /. Float.max 0.01 (depth -. 0.99)))
+      in
+      refine { p; burst_prob; mean_burst_rounds } (remaining - 1)
+    end
+  in
+  let _, target_to, target_depth = targets profile in
+  refine
+    {
+      p = clamp 1e-5 0.9 profile.Path_profile.loss_rate;
+      burst_prob = clamp 0. 1. (target_to /. 2.);
+      mean_burst_rounds = clamp 1. 30. target_depth;
+    }
+    iterations
+
+let run_with_calibration ~seed ~duration profile cal =
+  let rng = Pftk_stats.Rng.create ~seed:(Int64.add seed 1L) () in
+  let recorder = Recorder.create () in
+  let result =
+    Round_sim.run ~seed ~recorder ~duration ~loss:(loss_process rng cal)
+      (sim_config profile)
+  in
+  { profile; recorder; result }
+
+let run_for ?(seed = 11L) ~duration profile =
+  let cal = calibrate ~seed profile in
+  run_with_calibration ~seed ~duration profile cal
+
+let hour_trace ?seed profile = run_for ?seed ~duration:3600. profile
+
+let batch_100s ?(seed = 11L) ?(count = 100) profile =
+  if count < 1 then invalid_arg "Workload.batch_100s: count < 1";
+  (* Calibrate once for the path; each connection then gets its own RNG
+     stream, like the paper's serially-initiated connections. *)
+  let cal = calibrate ~seed profile in
+  List.init count (fun i ->
+      let connection_seed = Int64.add seed (Int64.of_int (100 + i)) in
+      run_with_calibration ~seed:connection_seed ~duration:100. profile cal)

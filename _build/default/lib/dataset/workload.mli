@@ -1,0 +1,49 @@
+(** Workload generators: the synthetic counterparts of the paper's two
+    measurement campaigns (§III) — 1-hour saturated connections, and
+    batches of 100 serially-initiated 100-second connections.
+
+    Traces come from the round-based simulator driven by an {e episodic}
+    loss process (round-correlated loss plus multi-round congestion
+    blackouts).  Three process knobs are calibrated per path against its
+    published Table II row: the per-packet loss parameter (targeting the
+    published loss-indication frequency), the episode probability
+    (targeting the published timeout share of indications), and the mean
+    episode length (targeting the published mean backoff depth — the
+    T0..T5+ spread).  Sender-side stack quirks follow the sending host's
+    OS (Table I): Linux senders use a 2-dup-ACK threshold, the Irix sender
+    a 2^5 backoff cap. *)
+
+type calibration = {
+  p : float;  (** Per-packet loss-event probability. *)
+  burst_prob : float;  (** Episode probability per loss event. *)
+  mean_burst_rounds : float;  (** Mean episode length, rounds. *)
+}
+
+type trace = {
+  profile : Path_profile.t;
+  recorder : Pftk_trace.Recorder.t;
+  result : Pftk_tcp.Round_sim.result;
+}
+
+val sim_config : Path_profile.t -> Pftk_tcp.Round_sim.config
+(** The path's simulator configuration (parameters + OS tweaks). *)
+
+val targets : Path_profile.t -> float * float * float
+(** (indication rate, timeout fraction, mean backoff depth) the calibration
+    aims for: from the published row when there is one, otherwise generic
+    defaults. *)
+
+val calibrate :
+  ?seed:int64 -> ?duration:float -> ?iterations:int -> Path_profile.t -> calibration
+(** Fixed-point calibration over short probe runs (default 5 x 600 s). *)
+
+val loss_process : Pftk_stats.Rng.t -> calibration -> Pftk_loss.Loss_process.t
+
+val hour_trace : ?seed:int64 -> Path_profile.t -> trace
+(** One 3600-s saturated connection, with full event recording. *)
+
+val batch_100s : ?seed:int64 -> ?count:int -> Path_profile.t -> trace list
+(** [count] (default 100) independent 100-s connections, one seed each. *)
+
+val run_for : ?seed:int64 -> duration:float -> Path_profile.t -> trace
+(** Arbitrary-duration variant used by both of the above. *)

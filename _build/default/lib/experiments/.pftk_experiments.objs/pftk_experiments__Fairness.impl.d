@@ -1,0 +1,1 @@
+lib/experiments/fairness.ml: Format Int64 List Pftk_tcp Printf Report

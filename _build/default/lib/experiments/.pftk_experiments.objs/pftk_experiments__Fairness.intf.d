@@ -1,0 +1,1 @@
+lib/experiments/fairness.mli: Format Pftk_tcp

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Approx_model Array Fig9 Float Full_model Fun Int64 List Params Pftk_core Pftk_dataset Pftk_stats Pftk_trace Tdonly

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Format Full_model Int64 List Params Pftk_core Pftk_loss Pftk_netsim Pftk_stats Pftk_tcp Pftk_trace Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Approx_model Array Ascii_plot Float Format Full_model Int64 List Markov Params Pftk_core Pftk_loss Pftk_stats Pftk_tcp Printf Report Sweep

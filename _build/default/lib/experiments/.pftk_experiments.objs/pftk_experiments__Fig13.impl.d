@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Ascii_plot Format Full_model List Params Pftk_core Report Sweep Throughput

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Approx_model Ascii_plot Float Format Full_model Int64 List Params Pftk_core Pftk_dataset Pftk_trace Printf Report Sweep Tdonly

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Format Full_model Fun Int64 List Params Pftk_core Pftk_dataset Pftk_stats Pftk_trace Printf Report Tdonly

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Approx_model Array Float Format Full_model Fun Int64 List Params Pftk_core Pftk_dataset Pftk_stats Pftk_trace Report Tdonly

@@ -1,0 +1,1 @@
+lib/experiments/fig_window.ml: Array Format Int64 List Pftk_loss Pftk_stats Pftk_tcp Report

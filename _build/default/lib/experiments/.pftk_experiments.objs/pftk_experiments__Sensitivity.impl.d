@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Array Format Full_model List Params Pftk_core Report Sweep

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Format List Pftk_dataset Report

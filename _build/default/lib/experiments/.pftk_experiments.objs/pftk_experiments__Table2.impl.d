@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Format Int64 List Pftk_dataset Pftk_trace Report

@@ -1,0 +1,1 @@
+lib/experiments/table2.mli: Format Pftk_dataset Pftk_trace

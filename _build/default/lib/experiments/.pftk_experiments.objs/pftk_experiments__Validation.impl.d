@@ -1,0 +1,1 @@
+lib/experiments/validation.ml: Approx_model Array Format Full_model Fun Int64 List Params Pftk_core Pftk_loss Pftk_netsim Pftk_stats Pftk_tcp Pftk_trace Printf Report Sweep Tdonly

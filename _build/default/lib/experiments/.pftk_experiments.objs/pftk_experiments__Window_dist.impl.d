@@ -1,0 +1,1 @@
+lib/experiments/window_dist.ml: Array Float Format Markov Params Pftk_core Pftk_loss Pftk_stats Pftk_tcp Printf Report Tdonly

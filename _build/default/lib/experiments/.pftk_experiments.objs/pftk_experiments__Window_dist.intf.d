@@ -1,0 +1,1 @@
+lib/experiments/window_dist.mli: Format Pftk_core

@@ -1,0 +1,62 @@
+type series = { glyph : char; label : string; points : (float * float) list }
+
+let finite_positive logscale v = Float.is_finite v && ((not logscale) || v > 0.)
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "p") ?(y_label = "rate")
+    ?(logx = true) ?(logy = true) ppf series =
+  let usable =
+    List.concat_map
+      (fun s ->
+        List.filter
+          (fun (x, y) -> finite_positive logx x && finite_positive logy y)
+          s.points)
+      series
+  in
+  if usable <> [] then begin
+    let xs = List.map fst usable and ys = List.map snd usable in
+    let fold f = List.fold_left f in
+    let x_lo = fold Float.min infinity xs and x_hi = fold Float.max neg_infinity xs in
+    let y_lo = fold Float.min infinity ys and y_hi = fold Float.max neg_infinity ys in
+    let scale logscale lo hi v =
+      if logscale then
+        if hi = lo then 0.5 else (log v -. log lo) /. (log hi -. log lo)
+      else if hi = lo then 0.5
+      else (v -. lo) /. (hi -. lo)
+    in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (x, y) ->
+            if finite_positive logx x && finite_positive logy y then begin
+              let fx = scale logx x_lo x_hi x and fy = scale logy y_lo y_hi y in
+              let col = min (width - 1) (int_of_float (fx *. float_of_int (width - 1))) in
+              let row =
+                height - 1
+                - min (height - 1) (int_of_float (fy *. float_of_int (height - 1)))
+              in
+              grid.(row).(col) <- s.glyph
+            end)
+          s.points)
+      series;
+    Format.fprintf ppf "%s (%s axis %s, %s axis %s)@." y_label "y"
+      (if logy then "log" else "linear")
+      "x"
+      (if logx then "log" else "linear");
+    Array.iteri
+      (fun row line ->
+        let edge =
+          if row = 0 then Printf.sprintf "%8.3g |" y_hi
+          else if row = height - 1 then Printf.sprintf "%8.3g |" y_lo
+          else "         |"
+        in
+        Format.fprintf ppf "%s%s@." edge (String.init width (Array.get line)))
+      grid;
+    Format.fprintf ppf "         +%s@." (String.make width '-');
+    Format.fprintf ppf "          %-8.3g%s%8.3g  (%s)@." x_lo
+      (String.make (max 1 (width - 18)) ' ')
+      x_hi x_label;
+    List.iter
+      (fun s -> Format.fprintf ppf "          [%c] %s@." s.glyph s.label)
+      series
+  end

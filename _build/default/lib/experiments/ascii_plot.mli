@@ -1,0 +1,27 @@
+(** Terminal rendering of the figures: log-log scatter/line plots drawn
+    with ASCII, so the reproduction's "shape" claims are visible directly
+    in CLI output without external plotting tools.
+
+    Each series gets a glyph; overlapping cells show the later series.
+    Axes are logarithmic (the paper's figures all are in x, mostly in y). *)
+
+type series = {
+  glyph : char;
+  label : string;
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?logx:bool ->
+  ?logy:bool ->
+  Format.formatter ->
+  series list ->
+  unit
+(** [render ppf series] draws the plot ([width] x [height] characters,
+    default 72 x 20, both axes logarithmic by default).  Points with
+    nonpositive coordinates are skipped on logarithmic axes.  Does nothing
+    when no drawable point exists. *)

@@ -1,0 +1,71 @@
+module Path_profile = Pftk_dataset.Path_profile
+module Workload = Pftk_dataset.Workload
+module Analyzer = Pftk_trace.Analyzer
+module Error_metrics = Pftk_stats.Error_metrics
+open Pftk_core
+
+let duration = 100.
+
+let entry_for ?(seed = 37L) ?count profile =
+  let traces = Workload.batch_100s ~seed ?count profile in
+  let observations =
+    List.filter_map
+      (fun trace ->
+        let s = Analyzer.summarize trace.Workload.recorder in
+        if s.Analyzer.loss_indications = 0 || s.Analyzer.packets_sent = 0 then
+          None
+        else begin
+          let rtt =
+            if s.Analyzer.avg_rtt > 0. then s.Analyzer.avg_rtt
+            else profile.Path_profile.rtt
+          in
+          let t0 =
+            if s.Analyzer.avg_t0 > 0. then s.Analyzer.avg_t0
+            else profile.Path_profile.t0
+          in
+          let params = Params.make ~rtt ~t0 ~wm:profile.Path_profile.wm () in
+          let p = s.Analyzer.observed_p in
+          Some
+            ( float_of_int s.Analyzer.packets_sent,
+              Full_model.send_rate params p *. duration,
+              Approx_model.send_rate params p *. duration,
+              Tdonly.send_rate ~rtt ~b:2 p *. duration )
+        end)
+      traces
+  in
+  if observations = [] then None
+  else begin
+    let pick f = Array.of_list (List.map f observations) in
+    let observed = pick (fun (o, _, _, _) -> o) in
+    let error predicted =
+      Error_metrics.average_error ~predicted ~observed
+    in
+    Some
+      {
+        Fig9.label = Path_profile.label profile;
+        full_error = error (pick (fun (_, f, _, _) -> f));
+        approx_error = error (pick (fun (_, _, a, _) -> a));
+        td_only_error = error (pick (fun (_, _, _, t) -> t));
+        intervals_used = List.length observations;
+      }
+  end
+
+(* The paper ran the 100-s campaign across its whole host set; use every
+   profiled path plus the two Fig. 8-only pairs. *)
+let paths () =
+  Path_profile.all
+  @ List.filter
+      (fun (p : Path_profile.t) -> p.Path_profile.receiver <> "p5")
+      Path_profile.extras
+
+let generate ?(seed = 37L) ?count () =
+  List.mapi
+    (fun i profile ->
+      entry_for ~seed:(Int64.add seed (Int64.of_int (1000 * i))) ?count profile)
+    (paths ())
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> Float.compare a.Fig9.td_only_error b.Fig9.td_only_error)
+
+let print ppf entries =
+  Fig9.print ppf ~title:"Fig. 10: Comparison of the models for 100-s traces"
+    entries

@@ -1,0 +1,12 @@
+(** Fig. 10: average prediction error of the three models on the 100-s
+    traces.
+
+    Like Fig. 9, but each observation is one whole 100-s connection and
+    the models use that connection's own measured RTT and T0, as described
+    in §III.  Runs over every profiled path (the paper's 100-s campaign
+    covered its whole host set). *)
+
+val generate : ?seed:int64 -> ?count:int -> unit -> Fig9.entry list
+(** Sorted by TD-only error.  [count] connections per pair (default 100). *)
+
+val print : Format.formatter -> Fig9.entry list -> unit

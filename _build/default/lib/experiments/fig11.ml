@@ -1,0 +1,111 @@
+module Connection = Pftk_tcp.Connection
+module Reno = Pftk_tcp.Reno
+module Analyzer = Pftk_trace.Analyzer
+module Intervals = Pftk_trace.Intervals
+module Queue_discipline = Pftk_netsim.Queue_discipline
+module Loss_process = Pftk_loss.Loss_process
+open Pftk_core
+
+type scenario_result = {
+  name : string;
+  correlation : float;
+  avg_rtt : float;
+  avg_t0 : float;
+  observed_p : float;
+  measured_rate : float;
+  predicted_rate : float;
+  intervals : (float * float) list;
+}
+
+let analyze ~name ~wm (result : Connection.result) =
+  let summary = Analyzer.summarize result.Connection.recorder in
+  let avg_rtt =
+    if summary.Analyzer.avg_rtt > 0. then summary.Analyzer.avg_rtt else 0.5
+  in
+  let avg_t0 =
+    if summary.Analyzer.avg_t0 > 0. then summary.Analyzer.avg_t0
+    else 3. *. avg_rtt
+  in
+  let params = Params.make ~rtt:avg_rtt ~t0:avg_t0 ~wm () in
+  let predicted_rate =
+    if summary.Analyzer.observed_p > 0. then
+      Full_model.send_rate params summary.Analyzer.observed_p
+    else float_of_int wm /. avg_rtt
+  in
+  let intervals =
+    Intervals.split ~width:100. result.Connection.recorder
+    |> List.filter_map (fun bin ->
+           if bin.Intervals.packets_sent = 0 then None
+           else
+             Some
+               ( bin.Intervals.observed_p,
+                 float_of_int bin.Intervals.packets_sent ))
+  in
+  {
+    name;
+    correlation = Connection.rtt_window_correlation result;
+    avg_rtt;
+    avg_t0;
+    observed_p = summary.Analyzer.observed_p;
+    measured_rate = result.Connection.send_rate;
+    predicted_rate;
+    intervals;
+  }
+
+let run_modem ?(seed = 41L) ?(duration = 3600.) () =
+  let rng = Pftk_stats.Rng.create ~seed:(Int64.add seed 5L) () in
+  let wm = 22 in
+  let scenario =
+    {
+      Connection.default_scenario with
+      (* 28.8 kbit/s serial line, and the ISP-side buffer devoted entirely
+         to this connection that the paper blames for the correlation. *)
+      forward_bandwidth = 3600.;
+      reverse_bandwidth = 3600.;
+      forward_delay = 0.1;
+      reverse_delay = 0.1;
+      buffer = Queue_discipline.drop_tail ~capacity:30;
+      (* Moderate loss keeps the window oscillating, so queueing delay
+         tracks the window (the 0.97 correlation of Sec. IV) and the mean
+         RTT stops being a usable model input. *)
+      data_loss = Some (Loss_process.bernoulli rng ~p:0.01);
+      sender = { Reno.default_config with wm; min_rto = 1. };
+    }
+  in
+  analyze ~name:"manic-p5 (28.8k modem, dedicated buffer)" ~wm
+    (Connection.run ~seed ~duration scenario)
+
+let run_wide_area ?(seed = 43L) ?(duration = 3600.) () =
+  let rng = Pftk_stats.Rng.create ~seed:(Int64.add seed 5L) () in
+  let wm = 32 in
+  let scenario =
+    {
+      Connection.default_scenario with
+      forward_bandwidth = 1_250_000.;
+      reverse_bandwidth = 1_250_000.;
+      forward_delay = 0.04;
+      reverse_delay = 0.04;
+      buffer = Queue_discipline.drop_tail ~capacity:50;
+      data_loss = Some (Loss_process.bernoulli rng ~p:0.02);
+      sender = { Reno.default_config with wm };
+    }
+  in
+  analyze ~name:"wide-area (fast shared path)" ~wm
+    (Connection.run ~seed ~duration scenario)
+
+let print ppf results =
+  Report.heading ppf "Fig. 11 / Sec. IV: RTT-window correlation study";
+  List.iter
+    (fun r ->
+      Report.subheading ppf r.name;
+      Report.kv ppf "RTT-window correlation" (Printf.sprintf "%.3f" r.correlation);
+      Report.kv ppf "avg RTT" (Printf.sprintf "%.3f s" r.avg_rtt);
+      Report.kv ppf "avg T0" (Printf.sprintf "%.3f s" r.avg_t0);
+      Report.kv ppf "observed p" (Report.fmt_p r.observed_p);
+      Report.kv ppf "measured send rate" (Report.fmt_rate r.measured_rate);
+      Report.kv ppf "full-model prediction" (Report.fmt_rate r.predicted_rate);
+      Report.kv ppf "prediction/measured"
+        (Printf.sprintf "%.2fx" (r.predicted_rate /. r.measured_rate));
+      Format.fprintf ppf "# intervals: p packets@.";
+      List.iter (fun (p, n) -> Format.fprintf ppf "%.5f %.1f@." p n) r.intervals)
+    results

@@ -1,0 +1,68 @@
+open Pftk_core
+
+type series = { label : string; points : (float * float) list }
+
+type result = {
+  params : Params.t;
+  full : series;
+  markov : series;
+  approx : series;
+  monte_carlo : series;
+  max_gap : float;
+}
+
+let paper_params = Params.make ~rtt:0.47 ~t0:3.2 ~wm:12 ()
+
+let to_points s = List.map (fun { Sweep.p; rate } -> (p, rate)) s
+
+let generate ?(seed = 47L) ?(params = paper_params) ?grid
+    ?(mc_duration = 30_000.) () =
+  let grid =
+    match grid with Some g -> g | None -> Sweep.logspace ~lo:1e-3 ~hi:0.5 ~n:30
+  in
+  let full = Sweep.series (Full_model.send_rate params) grid in
+  let markov =
+    Sweep.series (fun p -> Markov.send_rate (Markov.solve params p)) grid
+  in
+  let approx = Sweep.series (Approx_model.send_rate params) grid in
+  let monte_carlo =
+    Array.to_list grid
+    |> List.mapi (fun i p ->
+           let rng =
+             Pftk_stats.Rng.create ~seed:(Int64.add seed (Int64.of_int i)) ()
+           in
+           let loss = Pftk_loss.Loss_process.round_correlated rng ~p in
+           let r =
+             Pftk_tcp.Round_sim.run ~seed ~duration:mc_duration ~loss
+               (Pftk_tcp.Round_sim.config_of_params params)
+           in
+           (p, r.Pftk_tcp.Round_sim.send_rate))
+  in
+  let gaps =
+    List.map2
+      (fun f m -> Float.abs (f.Sweep.rate -. m.Sweep.rate) /. f.Sweep.rate)
+      full markov
+  in
+  {
+    params;
+    full = { label = "proposed (full)"; points = to_points full };
+    markov = { label = "markov (numerical)"; points = to_points markov };
+    approx = { label = "proposed (approximate)"; points = to_points approx };
+    monte_carlo = { label = "monte-carlo (round sim)"; points = monte_carlo };
+    max_gap = List.fold_left Float.max 0. gaps;
+  }
+
+let print ppf result =
+  Report.heading ppf "Fig. 12: Comparison with the Markov model";
+  Report.kv ppf "parameters" (Format.asprintf "%a" Params.pp result.params);
+  Report.kv ppf "max |full - markov| / full"
+    (Printf.sprintf "%.3f" result.max_gap);
+  List.iter
+    (fun s -> Report.series ppf ~label:s.label s.points)
+    [ result.full; result.markov; result.approx; result.monte_carlo ];
+  Ascii_plot.render ppf ~x_label:"loss probability p" ~y_label:"send rate pkt/s"
+    [
+      { Ascii_plot.glyph = '*'; label = result.full.label; points = result.full.points };
+      { Ascii_plot.glyph = 'm'; label = result.markov.label; points = result.markov.points };
+      { Ascii_plot.glyph = '.'; label = result.monte_carlo.label; points = result.monte_carlo.points };
+    ]

@@ -1,0 +1,27 @@
+(** Fig. 12: the closed-form full model against the numerically solved
+    Markov model, at the paper's parameters (RTT 0.47 s, T0 3.2 s,
+    W_m 12), plus the round-based Monte-Carlo as a third, independent
+    reference. *)
+
+type series = { label : string; points : (float * float) list }
+
+type result = {
+  params : Pftk_core.Params.t;
+  full : series;
+  markov : series;
+  approx : series;
+  monte_carlo : series;
+  max_gap : float;
+      (** max over the grid of |full - markov| / full — the "closeness of
+          the match" the paper reports. *)
+}
+
+val generate :
+  ?seed:int64 ->
+  ?params:Pftk_core.Params.t ->
+  ?grid:float array ->
+  ?mc_duration:float ->
+  unit ->
+  result
+
+val print : Format.formatter -> result -> unit

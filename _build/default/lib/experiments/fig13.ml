@@ -1,0 +1,36 @@
+open Pftk_core
+
+type result = {
+  params : Params.t;
+  send_rate : (float * float) list;
+  throughput : (float * float) list;
+  delivery_ratio : (float * float) list;
+}
+
+let paper_params = Params.make ~rtt:0.47 ~t0:3.2 ~wm:12 ()
+
+let generate ?(params = paper_params) ?grid () =
+  let grid =
+    match grid with Some g -> g | None -> Sweep.logspace ~lo:1e-4 ~hi:0.8 ~n:60
+  in
+  let eval model =
+    Sweep.series model grid |> List.map (fun { Sweep.p; rate } -> (p, rate))
+  in
+  {
+    params;
+    send_rate = eval (Full_model.send_rate params);
+    throughput = eval (Throughput.throughput params);
+    delivery_ratio = eval (Throughput.delivery_ratio params);
+  }
+
+let print ppf result =
+  Report.heading ppf "Fig. 13: Comparison of throughput and send rate";
+  Report.kv ppf "parameters" (Format.asprintf "%a" Params.pp result.params);
+  Report.series ppf ~label:"send rate B(p)" result.send_rate;
+  Report.series ppf ~label:"throughput T(p)" result.throughput;
+  Report.series ppf ~label:"delivery ratio T/B" result.delivery_ratio;
+  Ascii_plot.render ppf ~x_label:"loss probability p" ~y_label:"pkt/s"
+    [
+      { Ascii_plot.glyph = 'B'; label = "send rate B(p)"; points = result.send_rate };
+      { Ascii_plot.glyph = 'T'; label = "throughput T(p)"; points = result.throughput };
+    ]

@@ -1,0 +1,14 @@
+(** Fig. 13: send rate B(p) vs throughput T(p) for a bulk-transfer flow at
+    the paper's parameters (W_m 12, RTT 470 ms, T0 3.2 s).  Throughput is
+    bounded above by send rate, with the gap widening as p grows. *)
+
+type result = {
+  params : Pftk_core.Params.t;
+  send_rate : (float * float) list;
+  throughput : (float * float) list;
+  delivery_ratio : (float * float) list;
+}
+
+val generate : ?params:Pftk_core.Params.t -> ?grid:float array -> unit -> result
+
+val print : Format.formatter -> result -> unit

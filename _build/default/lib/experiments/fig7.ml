@@ -1,0 +1,98 @@
+module Path_profile = Pftk_dataset.Path_profile
+module Workload = Pftk_dataset.Workload
+module Analyzer = Pftk_trace.Analyzer
+module Intervals = Pftk_trace.Intervals
+open Pftk_core
+
+type point = { p : float; packets : float; tag : string }
+
+type panel = {
+  profile : Path_profile.t;
+  avg_rtt : float;
+  avg_t0 : float;
+  points : point list;
+  full_curve : (float * float) list;
+  approx_curve : (float * float) list;
+  td_only_curve : (float * float) list;
+}
+
+(* The paper plots N_predicted = B(p) * interval for each model, with RTT
+   and T0 taken from the whole trace. *)
+let curves ~interval ~rtt ~t0 ~wm ~points =
+  let p_lo =
+    List.fold_left (fun acc pt -> if pt.p > 0. then Float.min acc pt.p else acc)
+      1e-3 points
+  in
+  let grid = Sweep.logspace ~lo:(Float.max 1e-5 (p_lo /. 3.)) ~hi:0.9 ~n:50 in
+  let params = Params.make ~rtt ~t0 ~wm () in
+  let eval model = Sweep.series model grid
+    |> List.map (fun { Sweep.p; rate } -> (p, rate *. interval))
+  in
+  ( eval (Full_model.send_rate params),
+    eval (Approx_model.send_rate params),
+    eval (Tdonly.send_rate ~rtt ~b:2) )
+
+let panel_for ?(seed = 23L) ?(duration = 3600.) ?(interval = 100.) profile =
+  let trace = Workload.run_for ~seed ~duration profile in
+  let summary = Analyzer.summarize trace.Workload.recorder in
+  let avg_rtt =
+    if summary.Analyzer.avg_rtt > 0. then summary.Analyzer.avg_rtt
+    else profile.Path_profile.rtt
+  in
+  let avg_t0 =
+    if summary.Analyzer.avg_t0 > 0. then summary.Analyzer.avg_t0
+    else profile.Path_profile.t0
+  in
+  let bins = Intervals.split ~width:interval trace.Workload.recorder in
+  let points =
+    List.filter_map
+      (fun bin ->
+        if bin.Intervals.packets_sent = 0 then None
+        else
+          Some
+            {
+              p = bin.Intervals.observed_p;
+              packets = float_of_int bin.Intervals.packets_sent;
+              tag = Intervals.classification_label bin.Intervals.classification;
+            })
+      bins
+  in
+  let full_curve, approx_curve, td_only_curve =
+    curves ~interval ~rtt:avg_rtt ~t0:avg_t0 ~wm:profile.Path_profile.wm ~points
+  in
+  { profile; avg_rtt; avg_t0; points; full_curve; approx_curve; td_only_curve }
+
+let generate ?(seed = 23L) ?duration ?interval () =
+  List.mapi
+    (fun i profile ->
+      panel_for ~seed:(Int64.add seed (Int64.of_int i)) ?duration ?interval
+        profile)
+    Path_profile.fig7_paths
+
+let print ppf panels =
+  Report.heading ppf
+    "Fig. 7: 1-hour traces, measured intervals vs model predictions";
+  List.iter
+    (fun panel ->
+      Report.subheading ppf
+        (Printf.sprintf "%s: RTT=%.3f T0=%.3f Wm=%d"
+           (Path_profile.label panel.profile)
+           panel.avg_rtt panel.avg_t0 panel.profile.Path_profile.wm);
+      Format.fprintf ppf "# measured intervals: p packets tag@.";
+      List.iter
+        (fun pt -> Format.fprintf ppf "%.5f %.1f %s@." pt.p pt.packets pt.tag)
+        panel.points;
+      Report.series ppf ~label:"proposed (full)" panel.full_curve;
+      Report.series ppf ~label:"proposed (approximate)" panel.approx_curve;
+      Report.series ppf ~label:"TD only" panel.td_only_curve;
+      Ascii_plot.render ppf ~x_label:"loss frequency p"
+        ~y_label:"packets per interval"
+        [
+          { Ascii_plot.glyph = '*'; label = "proposed (full)";
+            points = panel.full_curve };
+          { Ascii_plot.glyph = '~'; label = "TD only";
+            points = panel.td_only_curve };
+          { Ascii_plot.glyph = 'o'; label = "measured intervals";
+            points = List.map (fun pt -> (pt.p, pt.packets)) panel.points };
+        ])
+    panels

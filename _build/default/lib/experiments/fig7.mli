@@ -1,0 +1,38 @@
+(** Fig. 7: per-interval send rate vs loss frequency for six 1-hour traces,
+    against the predictions of the proposed (full) model, the approximate
+    model, and the "TD only" baseline of Mathis et al.
+
+    Each panel divides its hour-long trace into 100-s intervals; every
+    interval contributes one scatter point (observed loss frequency,
+    packets sent) tagged TD/T0/T1/T2+ by the worst loss event inside it.
+    The model curves are evaluated at the trace-wide average RTT and T0,
+    exactly as the paper plots them. *)
+
+type point = {
+  p : float;
+  packets : float;  (** Packets sent in the interval. *)
+  tag : string;  (** TD / T0 / T1 / T2+ classification. *)
+}
+
+type panel = {
+  profile : Pftk_dataset.Path_profile.t;
+  avg_rtt : float;  (** Trace-wide, as shown in the subfigure title. *)
+  avg_t0 : float;
+  points : point list;
+  full_curve : (float * float) list;  (** (p, packets per interval). *)
+  approx_curve : (float * float) list;
+  td_only_curve : (float * float) list;
+}
+
+val generate :
+  ?seed:int64 -> ?duration:float -> ?interval:float -> unit -> panel list
+(** Defaults: 3600-s traces, 100-s intervals — 36 points per panel. *)
+
+val panel_for :
+  ?seed:int64 ->
+  ?duration:float ->
+  ?interval:float ->
+  Pftk_dataset.Path_profile.t ->
+  panel
+
+val print : Format.formatter -> panel list -> unit

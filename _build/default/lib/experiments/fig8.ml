@@ -1,0 +1,84 @@
+module Path_profile = Pftk_dataset.Path_profile
+module Workload = Pftk_dataset.Workload
+module Analyzer = Pftk_trace.Analyzer
+open Pftk_core
+
+type sample = {
+  index : int;
+  p : float;
+  measured : float;
+  full : float;
+  td_only : float;
+}
+
+type panel = { profile : Path_profile.t; samples : sample list }
+
+let duration = 100.
+
+let sample_of_trace ~index ~(profile : Path_profile.t) summary =
+  if summary.Analyzer.loss_indications = 0 || summary.Analyzer.packets_sent = 0
+  then None
+  else begin
+    let p = summary.Analyzer.observed_p in
+    let rtt =
+      if summary.Analyzer.avg_rtt > 0. then summary.Analyzer.avg_rtt
+      else profile.Path_profile.rtt
+    in
+    let t0 =
+      if summary.Analyzer.avg_t0 > 0. then summary.Analyzer.avg_t0
+      else profile.Path_profile.t0
+    in
+    let params = Params.make ~rtt ~t0 ~wm:profile.Path_profile.wm () in
+    Some
+      {
+        index;
+        p;
+        measured = float_of_int summary.Analyzer.packets_sent;
+        full = Full_model.send_rate params p *. duration;
+        td_only = Tdonly.send_rate ~rtt ~b:2 p *. duration;
+      }
+  end
+
+let panel_for ?(seed = 29L) ?count profile =
+  let traces = Workload.batch_100s ~seed ?count profile in
+  let samples =
+    List.mapi
+      (fun index trace ->
+        sample_of_trace ~index ~profile
+          (Analyzer.summarize trace.Workload.recorder))
+      traces
+    |> List.filter_map Fun.id
+  in
+  { profile; samples }
+
+let generate ?(seed = 29L) ?count () =
+  List.mapi
+    (fun i profile ->
+      panel_for ~seed:(Int64.add seed (Int64.of_int (1000 * i))) ?count profile)
+    Path_profile.fig8_paths
+
+let average_errors panel =
+  let measured = Array.of_list (List.map (fun s -> s.measured) panel.samples) in
+  let full = Array.of_list (List.map (fun s -> s.full) panel.samples) in
+  let td = Array.of_list (List.map (fun s -> s.td_only) panel.samples) in
+  if Array.length measured = 0 then (0., 0.)
+  else
+    ( Pftk_stats.Error_metrics.average_error ~predicted:full ~observed:measured,
+      Pftk_stats.Error_metrics.average_error ~predicted:td ~observed:measured )
+
+let print ppf panels =
+  Report.heading ppf "Fig. 8: 100-second traces, measured vs model predictions";
+  List.iter
+    (fun panel ->
+      let full_err, td_err = average_errors panel in
+      Report.subheading ppf
+        (Printf.sprintf "%s (%d usable traces; avg err: full=%.3f, TD only=%.3f)"
+           (Path_profile.label panel.profile)
+           (List.length panel.samples) full_err td_err);
+      Format.fprintf ppf "# trace p measured proposed td_only@.";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "%3d %.5f %8.1f %8.1f %8.1f@." s.index s.p
+            s.measured s.full s.td_only)
+        panel.samples)
+    panels

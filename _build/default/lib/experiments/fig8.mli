@@ -1,0 +1,33 @@
+(** Fig. 8: the 100-second-connection experiments.
+
+    For each of six sender-receiver pairs, 100 serially-initiated 100-s
+    connections are simulated.  For every connection the loss frequency,
+    RTT and T0 are measured from its own trace, and the measured packet
+    count is compared with the proposed model's and the TD-only model's
+    predictions — three aligned series per panel, indexed by trace
+    number. *)
+
+type sample = {
+  index : int;
+  p : float;  (** Per-trace observed loss frequency. *)
+  measured : float;  (** Packets sent in the 100 s. *)
+  full : float;  (** Proposed-model prediction. *)
+  td_only : float;
+}
+
+type panel = {
+  profile : Pftk_dataset.Path_profile.t;
+  samples : sample list;  (** Traces without loss indications are skipped. *)
+}
+
+val generate : ?seed:int64 -> ?count:int -> unit -> panel list
+(** [count] connections per pair, default 100. *)
+
+val panel_for :
+  ?seed:int64 -> ?count:int -> Pftk_dataset.Path_profile.t -> panel
+
+val average_errors : panel -> float * float
+(** (full-model error, TD-only error) under the paper's average-error
+    metric, over the panel's samples. *)
+
+val print : Format.formatter -> panel list -> unit

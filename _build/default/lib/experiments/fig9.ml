@@ -1,0 +1,78 @@
+module Path_profile = Pftk_dataset.Path_profile
+module Workload = Pftk_dataset.Workload
+module Analyzer = Pftk_trace.Analyzer
+module Intervals = Pftk_trace.Intervals
+module Error_metrics = Pftk_stats.Error_metrics
+open Pftk_core
+
+type entry = {
+  label : string;
+  full_error : float;
+  approx_error : float;
+  td_only_error : float;
+  intervals_used : int;
+}
+
+let entry_for ?(seed = 31L) ?(duration = 3600.) ?(interval = 100.) profile =
+  let trace = Workload.run_for ~seed ~duration profile in
+  let summary = Analyzer.summarize trace.Workload.recorder in
+  let rtt =
+    if summary.Analyzer.avg_rtt > 0. then summary.Analyzer.avg_rtt
+    else profile.Path_profile.rtt
+  in
+  let t0 =
+    if summary.Analyzer.avg_t0 > 0. then summary.Analyzer.avg_t0
+    else profile.Path_profile.t0
+  in
+  let params = Params.make ~rtt ~t0 ~wm:profile.Path_profile.wm () in
+  let usable =
+    Intervals.split ~width:interval trace.Workload.recorder
+    |> List.filter (fun bin ->
+           bin.Intervals.packets_sent > 0 && bin.Intervals.observed_p > 0.)
+  in
+  if usable = [] then None
+  else begin
+    let observed =
+      Array.of_list
+        (List.map (fun b -> float_of_int b.Intervals.packets_sent) usable)
+    in
+    let predict model =
+      Array.of_list
+        (List.map (fun b -> model b.Intervals.observed_p *. interval) usable)
+    in
+    let error model =
+      Error_metrics.average_error ~predicted:(predict model) ~observed
+    in
+    Some
+      {
+        label = Path_profile.label profile;
+        full_error = error (Full_model.send_rate params);
+        approx_error = error (Approx_model.send_rate params);
+        td_only_error = error (Tdonly.send_rate ~rtt ~b:2);
+        intervals_used = List.length usable;
+      }
+  end
+
+let generate ?(seed = 31L) ?duration () =
+  List.mapi
+    (fun i profile ->
+      entry_for ~seed:(Int64.add seed (Int64.of_int i)) ?duration profile)
+    Path_profile.all
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> Float.compare a.td_only_error b.td_only_error)
+
+let print ppf ~title entries =
+  Report.heading ppf title;
+  Format.fprintf ppf "%-20s %10s %10s %10s %6s@." "Trace" "TD-only" "Full"
+    "Approx" "Bins";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-20s %10.3f %10.3f %10.3f %6d@." e.label
+        e.td_only_error e.full_error e.approx_error e.intervals_used)
+    entries;
+  let better =
+    List.filter (fun e -> e.full_error < e.td_only_error) entries |> List.length
+  in
+  Format.fprintf ppf
+    "@.Proposed (full) model beats TD-only on %d of %d traces.@." better
+    (List.length entries)

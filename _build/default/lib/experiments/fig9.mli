@@ -1,0 +1,30 @@
+(** Fig. 9: average prediction error of the three models on the 1-hour
+    traces.
+
+    For every path, the hour-long trace is split into 100-s intervals; for
+    each interval the three models predict the packet count from the
+    interval's observed loss frequency (RTT and T0 from the whole trace);
+    the per-trace average error is the paper's
+    [mean |predicted - observed| / observed].  Traces are printed in
+    increasing order of TD-only error, as in the figure. *)
+
+type entry = {
+  label : string;  (** "sender-receiver". *)
+  full_error : float;
+  approx_error : float;
+  td_only_error : float;
+  intervals_used : int;
+}
+
+val generate : ?seed:int64 -> ?duration:float -> unit -> entry list
+(** Sorted by [td_only_error]. *)
+
+val entry_for :
+  ?seed:int64 ->
+  ?duration:float ->
+  ?interval:float ->
+  Pftk_dataset.Path_profile.t ->
+  entry option
+(** [None] when no interval had a usable loss frequency. *)
+
+val print : Format.formatter -> title:string -> entry list -> unit

@@ -1,0 +1,42 @@
+module Round_sim = Pftk_tcp.Round_sim
+module Loss_process = Pftk_loss.Loss_process
+
+type sample_path = { label : string; windows : float array }
+
+let path ~seed ~rounds ~label ~p ~wm ~dup_ack_threshold =
+  let rng = Pftk_stats.Rng.create ~seed () in
+  let loss = Loss_process.round_correlated rng ~p in
+  let config =
+    {
+      Round_sim.default_config with
+      Round_sim.wm;
+      dup_ack_threshold;
+      initial_window = 8.;
+      rtt_jitter = 0.;
+    }
+  in
+  { label; windows = Round_sim.window_samples ~seed ~rounds ~loss config }
+
+let generate ?(seed = 53L) ?(rounds = 200) () =
+  [
+    (* Large window, moderate loss: losses land on big windows, so dup
+       ACKs abound and indications are TDs (Fig. 1's sawtooth). *)
+    path ~seed ~rounds ~label:"fig1: TD indications only" ~p:0.01 ~wm:64
+      ~dup_ack_threshold:3;
+    (* Heavier loss: small windows at loss time force timeout sequences
+       (Fig. 3). *)
+    path ~seed:(Int64.add seed 1L) ~rounds
+      ~label:"fig3: TD and TO indications" ~p:0.06 ~wm:64 ~dup_ack_threshold:3;
+    (* Tight receiver window: growth flattens at Wm (Fig. 5). *)
+    path ~seed:(Int64.add seed 2L) ~rounds ~label:"fig5: window-limited"
+      ~p:0.005 ~wm:12 ~dup_ack_threshold:3;
+  ]
+
+let print ppf paths =
+  Report.heading ppf "Figs. 1/3/5: Window-evolution sample paths";
+  List.iter
+    (fun { label; windows } ->
+      Report.subheading ppf label;
+      Format.fprintf ppf "# round window@.";
+      Array.iteri (fun i w -> Format.fprintf ppf "%d %.2f@." i w) windows)
+    paths

@@ -1,0 +1,13 @@
+(** Figs. 1, 3 and 5: illustrative sample paths of the congestion-window
+    evolution in the model's three regimes — TD indications only (the
+    sawtooth of Fig. 1), TD plus timeout sequences (Fig. 3), and
+    receiver-window limitation (the flat-topped sawtooth of Fig. 5). *)
+
+type sample_path = {
+  label : string;
+  windows : float array;  (** Window at the start of each round. *)
+}
+
+val generate : ?seed:int64 -> ?rounds:int -> unit -> sample_path list
+
+val print : Format.formatter -> sample_path list -> unit

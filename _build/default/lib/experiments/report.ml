@@ -1,0 +1,14 @@
+let heading ppf title =
+  Format.fprintf ppf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let subheading ppf title =
+  Format.fprintf ppf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let series ppf ~label points =
+  Format.fprintf ppf "# series: %s@." label;
+  List.iter (fun (x, y) -> Format.fprintf ppf "%.6g %.6g@." x y) points
+
+let kv ppf key value = Format.fprintf ppf "%-28s %s@." (key ^ ":") value
+
+let fmt_rate r = Printf.sprintf "%.2f pkt/s" r
+let fmt_p p = Printf.sprintf "%.5f" p

@@ -1,0 +1,21 @@
+(** Small formatting helpers shared by the experiment drivers: every
+    driver prints the rows/series of one paper artifact in a uniform,
+    grep-friendly layout. *)
+
+val heading : Format.formatter -> string -> unit
+(** An underlined section title. *)
+
+val subheading : Format.formatter -> string -> unit
+
+val series :
+  Format.formatter -> label:string -> (float * float) list -> unit
+(** A named two-column series, one [x y] pair per line. *)
+
+val kv : Format.formatter -> string -> string -> unit
+(** An aligned ["key: value"] line. *)
+
+val fmt_rate : float -> string
+(** Packets/second with sensible precision. *)
+
+val fmt_p : float -> string
+(** Loss probability. *)

@@ -1,0 +1,55 @@
+open Pftk_core
+
+type elasticity = {
+  p : float;
+  wrt_rtt : float;
+  wrt_t0 : float;
+  wrt_p : float;
+  wrt_wm : float;
+}
+
+let log_derivative f x =
+  let h = 0.01 in
+  let up = f (x *. (1. +. h)) and down = f (x *. (1. -. h)) in
+  (log up -. log down) /. (log (1. +. h) -. log (1. -. h))
+
+let elasticities ?(params = Params.make ~rtt:0.2 ~t0:2. ~wm:32 ())
+    ?(grid = Sweep.logspace ~lo:1e-3 ~hi:0.3 ~n:9) () =
+  Array.to_list grid
+  |> List.map (fun p ->
+         let at_rtt rtt =
+           Full_model.send_rate { params with Params.rtt } p
+         in
+         let at_t0 t0 = Full_model.send_rate { params with Params.t0 } p in
+         let at_p p' = Full_model.send_rate params p' in
+         (* W_m is an integer; use a +/- 25% two-point slope instead. *)
+         let wm_lo = max 1 (int_of_float (float_of_int params.Params.wm *. 0.75)) in
+         let wm_hi =
+           max (wm_lo + 1) (int_of_float (float_of_int params.Params.wm *. 1.25))
+         in
+         let wrt_wm =
+           (log (Full_model.send_rate { params with Params.wm = wm_hi } p)
+           -. log (Full_model.send_rate { params with Params.wm = wm_lo } p))
+           /. (log (float_of_int wm_hi) -. log (float_of_int wm_lo))
+         in
+         {
+           p;
+           wrt_rtt = log_derivative at_rtt params.Params.rtt;
+           wrt_t0 = log_derivative at_t0 params.Params.t0;
+           wrt_p = log_derivative at_p p;
+           wrt_wm;
+         })
+
+let print ppf rows =
+  Report.heading ppf "Input sensitivity of eq. (32): elasticities d log B / d log x";
+  Format.fprintf ppf "%-10s %10s %10s %10s %10s@." "p" "RTT" "T0" "p" "Wm";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-10.4f %10.3f %10.3f %10.3f %10.3f@." e.p e.wrt_rtt
+        e.wrt_t0 e.wrt_p e.wrt_wm)
+    rows;
+  Format.fprintf ppf
+    "@.Reading: in the TD regime the theory predicts -1 (RTT) and -0.5 (p);@.";
+  Format.fprintf ppf
+    "as p grows, weight shifts from RTT onto T0 and p (timeout regime);@.";
+  Format.fprintf ppf "Wm only matters while the window is receiver-limited.@."

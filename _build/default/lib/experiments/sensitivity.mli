@@ -1,0 +1,26 @@
+(** Input-sensitivity study: how much does the full model's prediction move
+    when its measured inputs are wrong by a known factor?
+
+    Practitioners feed the PFTK equation estimates of RTT, T0 and p that
+    are themselves noisy; this experiment quantifies the model's
+    amplification of each input error (the elasticity
+    [d log B / d log x]) across operating points, and ranks the inputs by
+    how carefully they must be measured.  In the square-root regime theory
+    says elasticity -1 for RTT and -1/2 for p; the timeout regime shifts
+    weight onto T0.  No counterpart figure exists in the paper; this is
+    the ablation DESIGN.md calls out for the measurement pipeline. *)
+
+type elasticity = {
+  p : float;  (** Operating point. *)
+  wrt_rtt : float;
+  wrt_t0 : float;
+  wrt_p : float;
+  wrt_wm : float;
+}
+
+val elasticities :
+  ?params:Pftk_core.Params.t -> ?grid:float array -> unit -> elasticity list
+(** Central-difference log-log derivatives of eq. (32) at each grid
+    point. *)
+
+val print : Format.formatter -> elasticity list -> unit

@@ -1,0 +1,6 @@
+let print ppf =
+  Report.heading ppf "Table I: Domains and operating systems of hosts";
+  Format.fprintf ppf "%-12s %-16s %s@." "Host" "Domain" "Operating System";
+  List.iter
+    (fun h -> Format.fprintf ppf "%a@." Pftk_dataset.Host.pp h)
+    Pftk_dataset.Host.all

@@ -1,0 +1,3 @@
+(** Table I: domains and operating systems of the measurement hosts. *)
+
+val print : Format.formatter -> unit

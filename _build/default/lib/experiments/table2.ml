@@ -1,0 +1,62 @@
+module Path_profile = Pftk_dataset.Path_profile
+module Workload = Pftk_dataset.Workload
+module Analyzer = Pftk_trace.Analyzer
+module Table2_data = Pftk_dataset.Table2_data
+
+type row = { profile : Path_profile.t; summary : Analyzer.summary }
+
+let generate ?(seed = 17L) ?(duration = 3600.) () =
+  List.mapi
+    (fun i profile ->
+      let trace =
+        Workload.run_for ~seed:(Int64.add seed (Int64.of_int i)) ~duration
+          profile
+      in
+      { profile; summary = Analyzer.summarize trace.Workload.recorder })
+    Path_profile.all
+
+let timeout_fraction row =
+  let timeouts = Array.fold_left ( + ) 0 row.summary.Analyzer.to_by_backoff in
+  if row.summary.Analyzer.loss_indications = 0 then 0.
+  else
+    float_of_int timeouts /. float_of_int row.summary.Analyzer.loss_indications
+
+let print_cells ppf ~tag ~sender ~receiver ~packets ~loss ~td ~to_counts ~rtt
+    ~timeout =
+  Format.fprintf ppf
+    "%-5s %-6s %-12s %8d %6d %5d %6d %5d %5d %5d %5d %5d  %6.3f %7.3f@." tag
+    sender receiver packets loss td to_counts.(0) to_counts.(1) to_counts.(2)
+    to_counts.(3) to_counts.(4) to_counts.(5) rtt timeout
+
+let print ppf rows =
+  Report.heading ppf "Table II: Summary data from 1-hour traces (sim vs paper)";
+  Format.fprintf ppf
+    "%-5s %-6s %-12s %8s %6s %5s %6s %5s %5s %5s %5s %5s  %6s %7s@." "" "Sender"
+    "Receiver" "Packets" "Loss" "TD" "T0" "T1" "T2" "T3" "T4" "T5+" "RTT"
+    "TimeOut";
+  List.iter
+    (fun { profile; summary } ->
+      print_cells ppf ~tag:"sim" ~sender:profile.Path_profile.sender
+        ~receiver:profile.Path_profile.receiver
+        ~packets:summary.Analyzer.packets_sent
+        ~loss:summary.Analyzer.loss_indications ~td:summary.Analyzer.td_count
+        ~to_counts:summary.Analyzer.to_by_backoff ~rtt:summary.Analyzer.avg_rtt
+        ~timeout:summary.Analyzer.avg_t0;
+      match profile.Path_profile.table2 with
+      | None -> ()
+      | Some published ->
+          print_cells ppf ~tag:"paper" ~sender:published.Table2_data.sender
+            ~receiver:published.Table2_data.receiver
+            ~packets:published.Table2_data.packets_sent
+            ~loss:published.Table2_data.loss_indications
+            ~td:published.Table2_data.td
+            ~to_counts:published.Table2_data.to_counts
+            ~rtt:published.Table2_data.rtt
+            ~timeout:published.Table2_data.timeout)
+    rows;
+  let majority =
+    List.filter (fun row -> timeout_fraction row > 0.5) rows |> List.length
+  in
+  Format.fprintf ppf
+    "@.Timeouts are the majority of loss indications in %d of %d simulated traces.@."
+    majority (List.length rows)

@@ -1,0 +1,22 @@
+(** Table II: summary data from the 1-hour traces.
+
+    Each of the 24 sender-receiver pairs runs a calibrated hour-long
+    simulated connection; the trace analyzer then produces exactly the
+    published columns (packets sent, loss indications, TD count, the
+    T0..T5+ timeout breakdown, average RTT, average single-timeout
+    duration).  The printout interleaves simulated and published rows so
+    the shape comparison — timeouts dominating loss indications everywhere,
+    exponential backoff clearly present — is immediate. *)
+
+type row = {
+  profile : Pftk_dataset.Path_profile.t;
+  summary : Pftk_trace.Analyzer.summary;
+}
+
+val generate : ?seed:int64 -> ?duration:float -> unit -> row list
+(** Default duration 3600 s (the paper's). *)
+
+val timeout_fraction : row -> float
+(** Simulated fraction of loss indications that are timeouts. *)
+
+val print : Format.formatter -> row list -> unit

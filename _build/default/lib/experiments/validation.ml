@@ -1,0 +1,95 @@
+module Connection = Pftk_tcp.Connection
+module Analyzer = Pftk_trace.Analyzer
+module Loss = Pftk_loss.Loss_process
+open Pftk_core
+
+type point = {
+  injected_p : float;
+  observed_p : float;
+  avg_rtt : float;
+  avg_t0 : float;
+  measured : float;
+  full : float;
+  approx : float;
+  td_only : float;
+}
+
+type report = {
+  points : point list;
+  full_error : float;
+  approx_error : float;
+  td_only_error : float;
+}
+
+let default_grid () = Sweep.logspace ~lo:0.002 ~hi:0.15 ~n:8
+
+let point_for ~seed ~duration ~wm injected_p =
+  let rng = Pftk_stats.Rng.create ~seed () in
+  let scenario =
+    {
+      Connection.default_scenario with
+      Connection.forward_bandwidth = 1_250_000.;
+      reverse_bandwidth = 1_250_000.;
+      forward_delay = 0.05;
+      reverse_delay = 0.05;
+      buffer = Pftk_netsim.Queue_discipline.drop_tail ~capacity:100;
+      data_loss = Some (Loss.bernoulli rng ~p:injected_p);
+      sender = { Pftk_tcp.Reno.default_config with wm };
+    }
+  in
+  let result = Connection.run ~seed ~duration scenario in
+  let s = Analyzer.summarize result.Connection.recorder in
+  if s.Analyzer.loss_indications = 0 || s.Analyzer.avg_rtt <= 0. then None
+  else begin
+    let rtt = s.Analyzer.avg_rtt in
+    let t0 = if s.Analyzer.avg_t0 > 0. then s.Analyzer.avg_t0 else 4. *. rtt in
+    let params = Params.make ~rtt ~t0 ~wm () in
+    let p = s.Analyzer.observed_p in
+    Some
+      {
+        injected_p;
+        observed_p = p;
+        avg_rtt = rtt;
+        avg_t0 = t0;
+        measured = result.Connection.send_rate;
+        full = Full_model.send_rate params p;
+        approx = Approx_model.send_rate params p;
+        td_only = Tdonly.send_rate ~rtt ~b:2 p;
+      }
+  end
+
+let generate ?(seed = 83L) ?(duration = 900.) ?(wm = 32) ?grid () =
+  let grid = match grid with Some g -> g | None -> default_grid () in
+  let points =
+    Array.to_list grid
+    |> List.mapi (fun i p ->
+           point_for ~seed:(Int64.add seed (Int64.of_int i)) ~duration ~wm p)
+    |> List.filter_map Fun.id
+  in
+  let observed = Array.of_list (List.map (fun pt -> pt.measured) points) in
+  let error pick =
+    Pftk_stats.Error_metrics.average_error
+      ~predicted:(Array.of_list (List.map pick points))
+      ~observed
+  in
+  {
+    points;
+    full_error = error (fun pt -> pt.full);
+    approx_error = error (fun pt -> pt.approx);
+    td_only_error = error (fun pt -> pt.td_only);
+  }
+
+let print ppf report =
+  Report.heading ppf
+    "Model validation against the packet-level Reno simulator";
+  Format.fprintf ppf "%-10s %-9s %-7s %-7s | %9s %9s %9s %9s@." "inject-p"
+    "obs-p" "rtt" "t0" "measured" "full" "approx" "td-only";
+  List.iter
+    (fun pt ->
+      Format.fprintf ppf "%-10.4f %-9.4f %-7.3f %-7.3f | %9.2f %9.2f %9.2f %9.2f@."
+        pt.injected_p pt.observed_p pt.avg_rtt pt.avg_t0 pt.measured pt.full
+        pt.approx pt.td_only)
+    report.points;
+  Report.kv ppf "avg error: full" (Printf.sprintf "%.3f" report.full_error);
+  Report.kv ppf "avg error: approximate" (Printf.sprintf "%.3f" report.approx_error);
+  Report.kv ppf "avg error: TD-only" (Printf.sprintf "%.3f" report.td_only_error)

@@ -1,0 +1,39 @@
+(** End-to-end model validation against the {e packet-level} simulator —
+    this repository's stand-in for the paper's measurement campaign, in
+    tabular form.
+
+    For each loss level, a full TCP Reno connection runs over a simulated
+    path; the trace analyzer then measures (p, RTT, T0) exactly as the
+    paper's programs did, and the three models predict the send rate from
+    those measurements alone.  The table reports measured vs predicted and
+    the per-model average error across the sweep. *)
+
+type point = {
+  injected_p : float;  (** Bernoulli loss injected on the data path. *)
+  observed_p : float;  (** Loss-indication frequency from the trace. *)
+  avg_rtt : float;
+  avg_t0 : float;
+  measured : float;  (** Measured send rate, packets/s. *)
+  full : float;
+  approx : float;
+  td_only : float;
+}
+
+type report = {
+  points : point list;
+  full_error : float;  (** Paper's average-error metric over the sweep. *)
+  approx_error : float;
+  td_only_error : float;
+}
+
+val generate :
+  ?seed:int64 ->
+  ?duration:float ->
+  ?wm:int ->
+  ?grid:float array ->
+  unit ->
+  report
+(** Defaults: 900-s connections, W_m 32, injected loss from 0.002 to 0.15
+    (8 log-spaced points). *)
+
+val print : Format.formatter -> report -> unit

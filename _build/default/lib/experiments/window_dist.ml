@@ -1,0 +1,70 @@
+open Pftk_core
+
+type result = {
+  params : Params.t;
+  p : float;
+  markov_dist : float array;
+  simulated_dist : float array;
+  markov_mean : float;
+  simulated_mean : float;
+  model_e_w : float;
+  total_variation : float;
+}
+
+let generate ?(seed = 89L) ?(params = Params.make ~rtt:0.47 ~t0:3.2 ~wm:12 ())
+    ?(p = 0.02) ?(rounds = 200_000) () =
+  let solved = Markov.solve params p in
+  let markov_dist = Markov.window_distribution solved in
+  let wm = Array.length markov_dist in
+  let rng = Pftk_stats.Rng.create ~seed () in
+  let loss = Pftk_loss.Loss_process.round_correlated rng ~p in
+  let samples =
+    Pftk_tcp.Round_sim.window_samples ~seed ~rounds ~loss
+      (Pftk_tcp.Round_sim.config_of_params params)
+  in
+  let counts = Array.make wm 0 in
+  Array.iter
+    (fun w ->
+      let idx = min (wm - 1) (max 0 (int_of_float (Float.round w) - 1)) in
+      counts.(idx) <- counts.(idx) + 1)
+    samples;
+  let simulated_dist =
+    Array.map (fun c -> float_of_int c /. float_of_int rounds) counts
+  in
+  let mean dist =
+    let acc = ref 0. in
+    Array.iteri (fun i m -> acc := !acc +. (float_of_int (i + 1) *. m)) dist;
+    !acc
+  in
+  let tv =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i m -> acc := !acc +. Float.abs (m -. simulated_dist.(i)))
+      markov_dist;
+    !acc /. 2.
+  in
+  {
+    params;
+    p;
+    markov_dist;
+    simulated_dist;
+    markov_mean = mean markov_dist;
+    simulated_mean = mean simulated_dist;
+    model_e_w =
+      Float.min (float_of_int params.Params.wm) (Tdonly.e_w ~b:params.Params.b p);
+    total_variation = tv;
+  }
+
+let print ppf r =
+  Report.heading ppf "Stationary window distribution: Markov chain vs Monte-Carlo";
+  Report.kv ppf "parameters" (Format.asprintf "%a" Params.pp r.params);
+  Report.kv ppf "p" (Printf.sprintf "%g" r.p);
+  Format.fprintf ppf "%-4s %10s %10s@." "w" "markov" "simulated";
+  Array.iteri
+    (fun i m ->
+      Format.fprintf ppf "%-4d %10.4f %10.4f@." (i + 1) m r.simulated_dist.(i))
+    r.markov_dist;
+  Report.kv ppf "mean window (markov)" (Printf.sprintf "%.2f" r.markov_mean);
+  Report.kv ppf "mean window (simulated)" (Printf.sprintf "%.2f" r.simulated_mean);
+  Report.kv ppf "E[W] capped (eq. 13)" (Printf.sprintf "%.2f" r.model_e_w);
+  Report.kv ppf "total variation distance" (Printf.sprintf "%.3f" r.total_variation)

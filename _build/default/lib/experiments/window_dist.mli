@@ -1,0 +1,29 @@
+(** Stationary congestion-window distribution: a deeper Fig. 12-style
+    check.  The Markov chain's stationary distribution over window sizes
+    is compared against the empirical per-round window histogram of the
+    Monte-Carlo simulator, and both means against eq. (13)'s E[W] (capped
+    at W_m).  Close agreement here validates the chain's {e dynamics}, not
+    just its long-run rate. *)
+
+type result = {
+  params : Pftk_core.Params.t;
+  p : float;
+  markov_dist : float array;  (** P[W = w], index w-1. *)
+  simulated_dist : float array;  (** Empirical per-round frequencies. *)
+  markov_mean : float;
+  simulated_mean : float;
+  model_e_w : float;  (** min(E[W_u], W_m) from eq. (13). *)
+  total_variation : float;
+      (** TV distance between the two distributions, in [0, 1]. *)
+}
+
+val generate :
+  ?seed:int64 ->
+  ?params:Pftk_core.Params.t ->
+  ?p:float ->
+  ?rounds:int ->
+  unit ->
+  result
+(** Defaults: the Fig. 12 parameters, p = 0.02, 200k simulated rounds. *)
+
+val print : Format.formatter -> result -> unit

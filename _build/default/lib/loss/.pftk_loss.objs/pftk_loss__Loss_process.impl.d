@@ -1,0 +1,1 @@
+lib/loss/loss_process.ml: Array Pftk_stats Printf

@@ -1,0 +1,1 @@
+lib/loss/loss_process.mli: Pftk_stats

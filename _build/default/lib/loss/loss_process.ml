@@ -1,0 +1,156 @@
+type t = {
+  name : string;
+  drops : unit -> bool;
+  new_round : unit -> unit;
+  reset : unit -> unit;
+}
+
+let name t = t.name
+let drops t = t.drops ()
+let new_round t = t.new_round ()
+let reset t = t.reset ()
+
+let none =
+  {
+    name = "none";
+    drops = (fun () -> false);
+    new_round = ignore;
+    reset = ignore;
+  }
+
+let bernoulli rng ~p =
+  if not (0. <= p && p < 1.) then invalid_arg "Loss_process.bernoulli: p outside [0, 1)";
+  {
+    name = Printf.sprintf "bernoulli(p=%g)" p;
+    drops = (fun () -> Pftk_stats.Rng.bernoulli rng p);
+    new_round = ignore;
+    reset = ignore;
+  }
+
+let round_correlated rng ~p =
+  if not (0. <= p && p < 1.) then
+    invalid_arg "Loss_process.round_correlated: p outside [0, 1)";
+  let lossy_tail = ref false in
+  {
+    name = Printf.sprintf "round-correlated(p=%g)" p;
+    drops =
+      (fun () ->
+        if !lossy_tail then true
+        else if Pftk_stats.Rng.bernoulli rng p then begin
+          lossy_tail := true;
+          true
+        end
+        else false);
+    new_round = (fun () -> lossy_tail := false);
+    reset = (fun () -> lossy_tail := false);
+  }
+
+type gilbert_state = Good | Bad
+
+let gilbert rng ~p_enter_bad ~p_exit_bad ?(loss_in_bad = 1.) () =
+  let check label v =
+    if not (0. < v && v <= 1.) then
+      invalid_arg (Printf.sprintf "Loss_process.gilbert: %s outside (0, 1]" label)
+  in
+  check "p_enter_bad" p_enter_bad;
+  check "p_exit_bad" p_exit_bad;
+  if not (0. < loss_in_bad && loss_in_bad <= 1.) then
+    invalid_arg "Loss_process.gilbert: loss_in_bad outside (0, 1]";
+  let state = ref Good in
+  {
+    name =
+      Printf.sprintf "gilbert(enter=%g, exit=%g, loss=%g)" p_enter_bad
+        p_exit_bad loss_in_bad;
+    drops =
+      (fun () ->
+        (match !state with
+        | Good -> if Pftk_stats.Rng.bernoulli rng p_enter_bad then state := Bad
+        | Bad -> if Pftk_stats.Rng.bernoulli rng p_exit_bad then state := Good);
+        match !state with
+        | Good -> false
+        | Bad -> Pftk_stats.Rng.bernoulli rng loss_in_bad);
+    new_round = ignore;
+    reset = (fun () -> state := Good);
+  }
+
+let episodic rng ~p ~burst_prob ~mean_burst_rounds =
+  if not (0. <= p && p < 1.) then invalid_arg "Loss_process.episodic: p outside [0, 1)";
+  if not (0. <= burst_prob && burst_prob <= 1.) then
+    invalid_arg "Loss_process.episodic: burst_prob outside [0, 1]";
+  if not (mean_burst_rounds >= 1.) then
+    invalid_arg "Loss_process.episodic: mean_burst_rounds < 1";
+  let lossy_tail = ref false in
+  let round_killed = ref false in
+  let kill_rounds_left = ref 0 in
+  let start_episode () =
+    if burst_prob > 0. && Pftk_stats.Rng.bernoulli rng burst_prob then
+      kill_rounds_left :=
+        !kill_rounds_left
+        + Pftk_stats.Rng.geometric rng (1. /. mean_burst_rounds)
+  in
+  {
+    name =
+      Printf.sprintf "episodic(p=%g, burst=%g, rounds=%g)" p burst_prob
+        mean_burst_rounds;
+    drops =
+      (fun () ->
+        if !round_killed || !lossy_tail then true
+        else if Pftk_stats.Rng.bernoulli rng p then begin
+          lossy_tail := true;
+          start_episode ();
+          true
+        end
+        else false);
+    new_round =
+      (fun () ->
+        lossy_tail := false;
+        if !kill_rounds_left > 0 then begin
+          decr kill_rounds_left;
+          round_killed := true
+        end
+        else round_killed := false);
+    reset =
+      (fun () ->
+        lossy_tail := false;
+        round_killed := false;
+        kill_rounds_left := 0);
+  }
+
+let periodic ~period =
+  if period < 1 then invalid_arg "Loss_process.periodic: period must be >= 1";
+  let counter = ref 0 in
+  {
+    name = Printf.sprintf "periodic(%d)" period;
+    drops =
+      (fun () ->
+        incr counter;
+        if !counter >= period then begin
+          counter := 0;
+          true
+        end
+        else false);
+    new_round = ignore;
+    reset = (fun () -> counter := 0);
+  }
+
+let scripted pattern =
+  if Array.length pattern = 0 then invalid_arg "Loss_process.scripted: empty pattern";
+  let index = ref 0 in
+  {
+    name = Printf.sprintf "scripted(%d)" (Array.length pattern);
+    drops =
+      (fun () ->
+        let v = pattern.(!index mod Array.length pattern) in
+        incr index;
+        v);
+    new_round = ignore;
+    reset = (fun () -> index := 0);
+  }
+
+let stationary_loss_rate t n =
+  if n < 1 then invalid_arg "Loss_process.stationary_loss_rate: n must be >= 1";
+  let lost = ref 0 in
+  for _ = 1 to n do
+    if drops t then incr lost
+  done;
+  float_of_int !lost /. float_of_int n

@@ -1,0 +1,70 @@
+(** Packet-loss processes.
+
+    A process answers, packet by packet in send order, "is this packet
+    lost?".  Processes that depend on TCP's round structure (the paper's
+    correlated-within-a-round model, §II) are informed of round boundaries
+    through {!new_round}; the others ignore it.
+
+    The paper assumes: losses in different rounds are independent, and once
+    a packet is lost every later packet in the same round is lost too.
+    {!round_correlated} implements exactly that.  {!bernoulli} is the
+    i.i.d. alternative §IV reports the model also predicts well under, and
+    {!gilbert} gives the bursty two-state process of the loss-measurement
+    literature [23]. *)
+
+type t
+
+val name : t -> string
+
+val drops : t -> bool
+(** Decide the fate of the next packet. *)
+
+val new_round : t -> unit
+(** Signal that the sender started a new round (window of back-to-back
+    packets). *)
+
+val reset : t -> unit
+(** Return to the initial state (does not reseed the RNG). *)
+
+val none : t
+(** Never drops. *)
+
+val bernoulli : Pftk_stats.Rng.t -> p:float -> t
+(** Independent loss with probability [p] per packet. *)
+
+val round_correlated : Pftk_stats.Rng.t -> p:float -> t
+(** The paper's model: the first packet of a round (and each packet whose
+    predecessor survived) is lost with probability [p]; after a loss, every
+    remaining packet of the round is lost. *)
+
+val gilbert : Pftk_stats.Rng.t -> p_enter_bad:float -> p_exit_bad:float -> ?loss_in_bad:float -> unit -> t
+(** Two-state Gilbert-Elliott chain: no loss in Good; in Bad, packets are
+    lost with probability [loss_in_bad] (default 1).  State transitions are
+    evaluated per packet.  Stationary loss rate is
+    [loss_in_bad * p_enter_bad / (p_enter_bad + p_exit_bad)]. *)
+
+val periodic : period:int -> t
+(** Deterministically lose every [period]-th packet ([period >= 1]). *)
+
+val episodic :
+  Pftk_stats.Rng.t ->
+  p:float ->
+  burst_prob:float ->
+  mean_burst_rounds:float ->
+  t
+(** Round-correlated loss with congestion {e episodes}: each loss event
+    additionally, with probability [burst_prob], blacks out the next
+    [Geometric(1/mean_burst_rounds)] whole rounds.  Because the sender's
+    retransmissions after a timeout are themselves rounds, multi-round
+    episodes produce exponential-backoff sequences (the T1..T5+ columns of
+    Table II) and push the TD/TO mixture toward timeouts — the burstiness
+    knob used to calibrate each measured path.  Requires [0 <= p < 1],
+    [0 <= burst_prob <= 1], [mean_burst_rounds >= 1]. *)
+
+val scripted : bool array -> t
+(** Replay a fixed drop pattern, cycling when exhausted; useful in unit
+    tests to force specific TD/TO scenarios.  Requires a non-empty array. *)
+
+val stationary_loss_rate : t -> int -> float
+(** Empirical loss rate over the next [n] packets (consumes the process);
+    a testing convenience. *)

@@ -1,0 +1,1 @@
+lib/netsim/cross_traffic.ml: Pftk_stats Sim

@@ -1,0 +1,1 @@
+lib/netsim/cross_traffic.mli: Pftk_stats Sim

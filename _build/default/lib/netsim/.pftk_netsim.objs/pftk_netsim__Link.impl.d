@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Pftk_stats Queue Queue_discipline Sim

@@ -1,0 +1,1 @@
+lib/netsim/path.mli: Link Pftk_stats Queue_discipline Sim

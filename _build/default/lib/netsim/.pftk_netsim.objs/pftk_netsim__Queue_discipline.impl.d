@@ -1,0 +1,1 @@
+lib/netsim/queue_discipline.ml: Float Pftk_stats

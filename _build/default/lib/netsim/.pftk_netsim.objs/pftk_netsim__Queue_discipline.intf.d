@@ -1,0 +1,1 @@
+lib/netsim/queue_discipline.mli: Pftk_stats

@@ -1,0 +1,42 @@
+(** Background cross-traffic: an ON/OFF packet source.
+
+    The measurement paths of the paper lost packets to {e other people's
+    traffic} at congested routers.  This source reproduces that: during ON
+    periods it emits packets as a Poisson stream at a fixed rate; ON and
+    OFF durations are exponential, or Pareto-heavy-tailed for the
+    self-similar aggregate the traffic literature of the era measured.
+    Pointed at a shared bottleneck, it makes a TCP flow's loss endogenous
+    and bursty instead of injected. *)
+
+type config = {
+  rate : float;  (** Packets per second while ON. *)
+  packet_size : int;  (** Bytes per packet. *)
+  mean_on : float;  (** Mean ON duration, seconds. *)
+  mean_off : float;  (** Mean OFF duration, seconds. *)
+  pareto_shape : float option;
+      (** [Some a] (requires [a > 1]) draws ON durations from a Pareto with
+          that shape (heavy-tailed bursts); [None] uses exponential. *)
+}
+
+val default : config
+(** 200 pkt/s of 1000-B packets, mean ON 1 s / OFF 2 s, exponential. *)
+
+type t
+
+val start :
+  ?config:config ->
+  sim:Sim.t ->
+  rng:Pftk_stats.Rng.t ->
+  send:(size:int -> unit) ->
+  unit ->
+  t
+(** Begin the ON/OFF cycle (starting OFF, so competing flows get a brief
+    head start).  [send] is called once per emitted packet. *)
+
+val packets_sent : t -> int
+
+val duty_cycle : config -> float
+(** Long-run fraction of time ON: [mean_on / (mean_on + mean_off)]. *)
+
+val mean_rate : config -> float
+(** Long-run offered load, packets/s: [rate *. duty_cycle]. *)

@@ -1,0 +1,120 @@
+type 'a item = { size : int; payload : 'a }
+
+type stats = {
+  offered : int;
+  delivered : int;
+  dropped_queue : int;
+  dropped_random : int;
+  bytes_delivered : int;
+  max_queue : int;
+}
+
+type 'a t = {
+  sim : Sim.t;
+  rng : Pftk_stats.Rng.t;
+  bandwidth : float;
+  delay : float;
+  deliver : 'a -> unit;
+  discipline : Queue_discipline.t;
+  disc_state : Queue_discipline.state;
+  random_loss : (unit -> bool) option;
+  queue : 'a item Queue.t;
+  mutable transmitting : bool;
+  mutable propagating : int;
+  mutable offered : int;
+  mutable delivered : int;
+  mutable dropped_queue : int;
+  mutable dropped_random : int;
+  mutable bytes_delivered : int;
+  mutable max_queue : int;
+  mutable busy_time : float;
+}
+
+let create ?(discipline = Queue_discipline.drop_tail ~capacity:64) ?random_loss
+    ~sim ~rng ~bandwidth ~delay ~deliver () =
+  if not (bandwidth > 0.) then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Link.create: negative delay";
+  {
+    sim;
+    rng;
+    bandwidth;
+    delay;
+    deliver;
+    discipline;
+    disc_state = Queue_discipline.init discipline;
+    random_loss;
+    queue = Queue.create ();
+    transmitting = false;
+    propagating = 0;
+    offered = 0;
+    delivered = 0;
+    dropped_queue = 0;
+    dropped_random = 0;
+    bytes_delivered = 0;
+    max_queue = 0;
+    busy_time = 0.;
+  }
+
+let queue_length t = Queue.length t.queue
+let in_flight t = t.propagating
+
+(* Pull the head of the queue into transmission; when its serialization
+   completes, launch propagation and recurse on the next packet. *)
+let rec start_transmission t =
+  match Queue.peek_opt t.queue with
+  | None -> t.transmitting <- false
+  | Some { size; payload } ->
+      t.transmitting <- true;
+      let tx_time = float_of_int size /. t.bandwidth in
+      t.busy_time <- t.busy_time +. tx_time;
+      ignore
+        (Sim.schedule t.sim ~delay:tx_time (fun () ->
+             ignore (Queue.pop t.queue);
+             Queue_discipline.on_dequeue t.discipline t.disc_state
+               ~queue_length:(Queue.length t.queue);
+             t.propagating <- t.propagating + 1;
+             ignore
+               (Sim.schedule t.sim ~delay:t.delay (fun () ->
+                    t.propagating <- t.propagating - 1;
+                    t.delivered <- t.delivered + 1;
+                    t.bytes_delivered <- t.bytes_delivered + size;
+                    t.deliver payload));
+             start_transmission t))
+
+let send t ~size payload =
+  if size <= 0 then invalid_arg "Link.send: size must be positive";
+  t.offered <- t.offered + 1;
+  let randomly_lost =
+    match t.random_loss with Some lossy -> lossy () | None -> false
+  in
+  if randomly_lost then begin
+    t.dropped_random <- t.dropped_random + 1;
+    false
+  end
+  else if
+    not
+      (Queue_discipline.admit t.discipline t.disc_state ~rng:t.rng
+         ~queue_length:(Queue.length t.queue))
+  then begin
+    t.dropped_queue <- t.dropped_queue + 1;
+    false
+  end
+  else begin
+    Queue.push { size; payload } t.queue;
+    if Queue.length t.queue > t.max_queue then t.max_queue <- Queue.length t.queue;
+    if not t.transmitting then start_transmission t;
+    true
+  end
+
+let stats t =
+  {
+    offered = t.offered;
+    delivered = t.delivered;
+    dropped_queue = t.dropped_queue;
+    dropped_random = t.dropped_random;
+    bytes_delivered = t.bytes_delivered;
+    max_queue = t.max_queue;
+  }
+
+let busy_time t = t.busy_time
+let delay t = t.delay

@@ -1,0 +1,25 @@
+type ('data, 'ack) t = { forward : 'data Link.t; reverse : 'ack Link.t }
+
+let create ?forward_discipline ?reverse_discipline ?forward_loss ?reverse_loss
+    ~sim ~rng ~forward_bandwidth ~reverse_bandwidth ~forward_delay
+    ~reverse_delay ~deliver_data ~deliver_ack () =
+  let forward =
+    Link.create ?discipline:forward_discipline ?random_loss:forward_loss ~sim
+      ~rng ~bandwidth:forward_bandwidth ~delay:forward_delay
+      ~deliver:deliver_data ()
+  in
+  let reverse =
+    Link.create ?discipline:reverse_discipline ?random_loss:reverse_loss ~sim
+      ~rng ~bandwidth:reverse_bandwidth ~delay:reverse_delay
+      ~deliver:deliver_ack ()
+  in
+  { forward; reverse }
+
+let symmetric ?discipline ?forward_loss ?reverse_loss ~sim ~rng ~bandwidth
+    ~one_way_delay ~deliver_data ~deliver_ack () =
+  create ?forward_discipline:discipline ?reverse_discipline:discipline
+    ?forward_loss ?reverse_loss ~sim ~rng ~forward_bandwidth:bandwidth
+    ~reverse_bandwidth:bandwidth ~forward_delay:one_way_delay
+    ~reverse_delay:one_way_delay ~deliver_data ~deliver_ack ()
+
+let base_rtt t = Link.delay t.forward +. Link.delay t.reverse

@@ -1,0 +1,43 @@
+(** A duplex path: independent forward (data) and reverse (ACK) links,
+    which is how the measurement paths of the paper are modeled — the
+    bottleneck, buffering and loss act on the data direction while ACKs
+    travel a lightly-loaded reverse channel. *)
+
+type ('data, 'ack) t = {
+  forward : 'data Link.t;
+  reverse : 'ack Link.t;
+}
+
+val create :
+  ?forward_discipline:Queue_discipline.t ->
+  ?reverse_discipline:Queue_discipline.t ->
+  ?forward_loss:(unit -> bool) ->
+  ?reverse_loss:(unit -> bool) ->
+  sim:Sim.t ->
+  rng:Pftk_stats.Rng.t ->
+  forward_bandwidth:float ->
+  reverse_bandwidth:float ->
+  forward_delay:float ->
+  reverse_delay:float ->
+  deliver_data:('data -> unit) ->
+  deliver_ack:('ack -> unit) ->
+  unit ->
+  ('data, 'ack) t
+
+val symmetric :
+  ?discipline:Queue_discipline.t ->
+  ?forward_loss:(unit -> bool) ->
+  ?reverse_loss:(unit -> bool) ->
+  sim:Sim.t ->
+  rng:Pftk_stats.Rng.t ->
+  bandwidth:float ->
+  one_way_delay:float ->
+  deliver_data:('data -> unit) ->
+  deliver_ack:('ack -> unit) ->
+  unit ->
+  ('data, 'ack) t
+(** Same bandwidth/delay both ways; the base RTT is
+    [2 *. one_way_delay] plus serialization and queueing. *)
+
+val base_rtt : ('data, 'ack) t -> float
+(** Propagation-only round-trip: forward delay + reverse delay. *)

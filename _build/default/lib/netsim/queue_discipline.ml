@@ -1,0 +1,75 @@
+type t =
+  | Drop_tail of { capacity : int }
+  | Red of {
+      capacity : int;
+      min_threshold : float;
+      max_threshold : float;
+      max_probability : float;
+      weight : float;
+    }
+
+let drop_tail ~capacity =
+  if capacity < 1 then invalid_arg "Queue_discipline.drop_tail: capacity < 1";
+  Drop_tail { capacity }
+
+let red ?(weight = 0.002) ?(max_probability = 0.1) ~capacity ~min_threshold
+    ~max_threshold () =
+  if capacity < 1 then invalid_arg "Queue_discipline.red: capacity < 1";
+  if not (0. <= min_threshold && min_threshold < max_threshold) then
+    invalid_arg "Queue_discipline.red: need 0 <= min_th < max_th";
+  if not (0. < max_probability && max_probability <= 1.) then
+    invalid_arg "Queue_discipline.red: max_probability outside (0, 1]";
+  if not (0. < weight && weight <= 1.) then
+    invalid_arg "Queue_discipline.red: weight outside (0, 1]";
+  Red { capacity; min_threshold; max_threshold; max_probability; weight }
+
+type state = { mutable avg : float; mutable since_drop : int }
+
+let init _t = { avg = 0.; since_drop = 0 }
+
+let admit t state ~rng ~queue_length =
+  match t with
+  | Drop_tail { capacity } -> queue_length < capacity
+  | Red { capacity; min_threshold; max_threshold; max_probability; weight } ->
+      state.avg <-
+        ((1. -. weight) *. state.avg) +. (weight *. float_of_int queue_length);
+      if queue_length >= capacity then begin
+        state.since_drop <- 0;
+        false
+      end
+      else if state.avg < min_threshold then begin
+        state.since_drop <- state.since_drop + 1;
+        true
+      end
+      else if state.avg >= max_threshold then begin
+        state.since_drop <- 0;
+        false
+      end
+      else begin
+        (* Gentle region: drop with probability growing linearly in the
+           average, spread out by the count since the last drop (the
+           original RED "p_a" correction). *)
+        let base =
+          max_probability
+          *. ((state.avg -. min_threshold) /. (max_threshold -. min_threshold))
+        in
+        let denominator = 1. -. (float_of_int state.since_drop *. base) in
+        let prob = if denominator <= 0. then 1. else base /. denominator in
+        if Pftk_stats.Rng.bernoulli rng (Float.min 1. prob) then begin
+          state.since_drop <- 0;
+          false
+        end
+        else begin
+          state.since_drop <- state.since_drop + 1;
+          true
+        end
+      end
+
+let on_dequeue t state ~queue_length =
+  match t with
+  | Drop_tail _ -> ()
+  | Red { weight; _ } ->
+      state.avg <-
+        ((1. -. weight) *. state.avg) +. (weight *. float_of_int queue_length)
+
+let average_queue state = state.avg

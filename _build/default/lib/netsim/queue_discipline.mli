@@ -1,0 +1,43 @@
+(** Buffer management policies for link queues.
+
+    A discipline decides, per arriving packet, whether to enqueue or drop,
+    given the instantaneous and (for RED) averaged queue occupancy.  The
+    paper's measurement paths lose packets to tail-drop router buffers;
+    RED [4] is included because it produces the closer-to-Bernoulli loss
+    pattern that §IV discusses. *)
+
+type t =
+  | Drop_tail of { capacity : int }
+      (** Drop arrivals once [capacity] packets are queued. *)
+  | Red of {
+      capacity : int;  (** Hard limit, packets. *)
+      min_threshold : float;  (** avg queue below this: never drop. *)
+      max_threshold : float;  (** avg queue above this: always drop. *)
+      max_probability : float;  (** drop prob. as avg reaches max_th. *)
+      weight : float;  (** EWMA weight for the average queue (ns default 0.002). *)
+    }
+
+val drop_tail : capacity:int -> t
+val red :
+  ?weight:float ->
+  ?max_probability:float ->
+  capacity:int ->
+  min_threshold:float ->
+  max_threshold:float ->
+  unit ->
+  t
+
+type state
+(** Per-queue mutable discipline state (RED average, drop counter). *)
+
+val init : t -> state
+
+val admit : t -> state -> rng:Pftk_stats.Rng.t -> queue_length:int -> bool
+(** [admit] is called on each arrival with the pre-enqueue queue length;
+    [false] means drop.  Updates RED's moving average. *)
+
+val on_dequeue : t -> state -> queue_length:int -> unit
+(** Notify the discipline that a packet left (RED idle-time bookkeeping). *)
+
+val average_queue : state -> float
+(** RED's current average ([0.] under drop-tail). *)

@@ -1,0 +1,134 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy_event = { time = 0.; seq = -1; action = ignore; cancelled = true }
+
+let create () =
+  { heap = Array.make 64 dummy_event; size = 0; clock = 0.; next_seq = 0 }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy_event in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let sift_up t i =
+  let e = t.heap.(i) in
+  let rec loop i =
+    if i = 0 then i
+    else
+      let parent = (i - 1) / 2 in
+      if before e t.heap.(parent) then begin
+        t.heap.(i) <- t.heap.(parent);
+        loop parent
+      end
+      else i
+  in
+  t.heap.(loop i) <- e
+
+let sift_down t i =
+  let e = t.heap.(i) in
+  let rec loop i =
+    let l = (2 * i) + 1 in
+    if l >= t.size then i
+    else begin
+      let child =
+        if l + 1 < t.size && before t.heap.(l + 1) t.heap.(l) then l + 1 else l
+      in
+      if before t.heap.(child) e then begin
+        t.heap.(i) <- t.heap.(child);
+        loop child
+      end
+      else i
+    end
+  in
+  t.heap.(loop i) <- e
+
+let push t e =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let e = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  t.heap.(t.size) <- dummy_event;
+  e
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  let e = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  push t e;
+  e
+
+let schedule t ~delay action =
+  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel e =
+  if not e.cancelled then e.cancelled <- true
+
+let cancelled e = e.cancelled
+
+let pending t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).cancelled then incr n
+  done;
+  !n
+
+let step t =
+  let rec next () =
+    if t.size = 0 then false
+    else begin
+      let e = pop t in
+      if e.cancelled then next ()
+      else begin
+        t.clock <- e.time;
+        e.action ();
+        true
+      end
+    end
+  in
+  next ()
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let rec loop () =
+        (* Discard cancelled heads first: the horizon check must see the
+           next event that will actually fire, or [step] would leap past
+           the horizon through a cancelled head. *)
+        while t.size > 0 && t.heap.(0).cancelled do
+          ignore (pop t)
+        done;
+        if t.size = 0 then t.clock <- Float.max t.clock horizon
+        else if t.heap.(0).time > horizon then
+          t.clock <- Float.max t.clock horizon
+        else begin
+          ignore (step t);
+          loop ()
+        end
+      in
+      loop ()

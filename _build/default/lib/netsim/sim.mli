@@ -1,0 +1,38 @@
+(** Discrete-event simulation core: a virtual clock and a priority queue of
+    timestamped callbacks.
+
+    Events at equal timestamps fire in scheduling order (a monotone sequence
+    number breaks ties), which keeps runs fully deterministic. *)
+
+type t
+
+type event
+(** Handle for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, seconds.  Starts at 0. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event
+(** [schedule t ~delay f] fires [f] at [now t +. delay].
+    Raises [Invalid_argument] if [delay < 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event
+(** Absolute-time variant; [time] must not precede [now t]. *)
+
+val cancel : event -> unit
+(** Idempotent; cancelling a fired event is a no-op. *)
+
+val cancelled : event -> bool
+
+val pending : t -> int
+(** Live (scheduled, not cancelled, not fired) event count. *)
+
+val run : ?until:float -> t -> unit
+(** Dispatch events in timestamp order.  With [until], stops once the clock
+    would pass it (the clock is left at [until]); otherwise runs until no
+    events remain. *)
+
+val step : t -> bool
+(** Dispatch the single next event; [false] when none remain. *)

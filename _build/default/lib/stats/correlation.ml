@@ -1,0 +1,48 @@
+let check_pair name x y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg (name ^ ": length mismatch");
+  if n < 2 then invalid_arg (name ^ ": need at least two points");
+  n
+
+let covariance x y =
+  let n = check_pair "Correlation.covariance" x y in
+  let mx = Descriptive.mean x and my = Descriptive.mean y in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((x.(i) -. mx) *. (y.(i) -. my))
+  done;
+  !acc /. float_of_int (n - 1)
+
+let pearson x y =
+  let _n = check_pair "Correlation.pearson" x y in
+  let sx = Descriptive.std x and sy = Descriptive.std y in
+  if sx = 0. || sy = 0. then 0. else covariance x y /. (sx *. sy)
+
+(* Midranks: ties share the average of the ranks they span. *)
+let midranks a =
+  let n = Array.length a in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare a.(i) a.(j)) idx;
+  let ranks = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do incr j done;
+    let avg_rank = float_of_int (!i + !j) /. 2. +. 1. in
+    for k = !i to !j do
+      ranks.(idx.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  ranks
+
+let spearman x y =
+  let _n = check_pair "Correlation.spearman" x y in
+  pearson (midranks x) (midranks y)
+
+let autocorrelation a lag =
+  let n = Array.length a in
+  if lag < 0 || lag >= n - 1 then invalid_arg "Correlation.autocorrelation: bad lag";
+  let x = Array.sub a 0 (n - lag) in
+  let y = Array.sub a lag (n - lag) in
+  pearson x y

@@ -1,0 +1,23 @@
+(** Correlation measures.
+
+    Section IV of the paper checks the model's RTT-vs-window independence
+    assumption by computing the coefficient of correlation between per-round
+    RTT samples and the number of packets in flight; normal paths fall in
+    [\[-0.1, 0.1\]] while a modem path reaches 0.97.  {!pearson} is that
+    coefficient. *)
+
+val covariance : float array -> float array -> float
+(** Sample covariance (divides by [n - 1]).  Raises [Invalid_argument] on
+    length mismatch or input shorter than 2. *)
+
+val pearson : float array -> float array -> float
+(** Pearson product-moment correlation in [\[-1, 1\]].  Returns [0.] when
+    either input has zero variance (no linear relationship measurable). *)
+
+val spearman : float array -> float array -> float
+(** Rank correlation: Pearson over midranks, robust to monotone
+    nonlinearity. *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation a lag] of a series with itself shifted by [lag];
+    used to inspect burstiness of simulated loss processes. *)

@@ -1,0 +1,89 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty input")
+
+let sum a = Array.fold_left ( +. ) 0. a
+let sum_list l = List.fold_left ( +. ) 0. l
+
+let mean a =
+  check_nonempty "Descriptive.mean" a;
+  sum a /. float_of_int (Array.length a)
+
+let mean_list l =
+  if l = [] then invalid_arg "Descriptive.mean_list: empty input";
+  sum_list l /. float_of_int (List.length l)
+
+let sum_sq_dev a =
+  let m = mean a in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a
+
+let variance a =
+  check_nonempty "Descriptive.variance" a;
+  let n = Array.length a in
+  if n = 1 then 0. else sum_sq_dev a /. float_of_int (n - 1)
+
+let population_variance a =
+  check_nonempty "Descriptive.population_variance" a;
+  sum_sq_dev a /. float_of_int (Array.length a)
+
+let std a = sqrt (variance a)
+
+let min a =
+  check_nonempty "Descriptive.min" a;
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  check_nonempty "Descriptive.max" a;
+  Array.fold_left Float.max a.(0) a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let quantile a q =
+  check_nonempty "Descriptive.quantile" a;
+  if q < 0. || q > 1. then invalid_arg "Descriptive.quantile: q outside [0,1]";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+
+let median a = quantile a 0.5
+
+let geometric_mean a =
+  check_nonempty "Descriptive.geometric_mean" a;
+  Array.iter (fun x -> if x <= 0. then invalid_arg "Descriptive.geometric_mean: nonpositive entry") a;
+  let log_sum = Array.fold_left (fun acc x -> acc +. log x) 0. a in
+  exp (log_sum /. float_of_int (Array.length a))
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+let summarize a =
+  check_nonempty "Descriptive.summarize" a;
+  {
+    n = Array.length a;
+    mean = mean a;
+    std = std a;
+    min = min a;
+    p25 = quantile a 0.25;
+    median = median a;
+    p75 = quantile a 0.75;
+    max = max a;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g std=%.4g min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g"
+    s.n s.mean s.std s.min s.p25 s.median s.p75 s.max

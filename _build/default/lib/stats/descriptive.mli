@@ -1,0 +1,46 @@
+(** Descriptive statistics over float arrays and lists.
+
+    All functions raise [Invalid_argument] on empty input unless stated
+    otherwise; callers in the experiment drivers always operate on non-empty
+    measurement sets. *)
+
+val mean : float array -> float
+val mean_list : float list -> float
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n - 1]); [0.] for singletons. *)
+
+val population_variance : float array -> float
+(** Divides by [n]. *)
+
+val std : float array -> float
+(** Square root of {!variance}. *)
+
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float
+val sum_list : float list -> float
+
+val median : float array -> float
+(** Median without mutating the input (sorts a copy). *)
+
+val quantile : float array -> float -> float
+(** [quantile a q] with [q] in [\[0, 1\]], linear interpolation between order
+    statistics (type-7, the R default). *)
+
+val geometric_mean : float array -> float
+(** Requires strictly positive entries. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,53 @@
+let paired name ~predicted ~observed =
+  if Array.length predicted <> Array.length observed then
+    invalid_arg (name ^ ": length mismatch")
+
+(* Fold [f] over pairs with a positive observed value; relative-error
+   metrics are undefined where the observation is zero. *)
+let fold_valid name f init ~predicted ~observed =
+  paired name ~predicted ~observed;
+  let acc = ref init and n = ref 0 in
+  Array.iteri
+    (fun i o ->
+      if o > 0. then begin
+        acc := f !acc predicted.(i) o;
+        incr n
+      end)
+    observed;
+  if !n = 0 then invalid_arg (name ^ ": no usable observations");
+  (!acc, !n)
+
+let average_error ~predicted ~observed =
+  let total, n =
+    fold_valid "Error_metrics.average_error"
+      (fun acc p o -> acc +. (Float.abs (p -. o) /. o))
+      0. ~predicted ~observed
+  in
+  total /. float_of_int n
+
+let mean_signed_error ~predicted ~observed =
+  let total, n =
+    fold_valid "Error_metrics.mean_signed_error"
+      (fun acc p o -> acc +. ((p -. o) /. o))
+      0. ~predicted ~observed
+  in
+  total /. float_of_int n
+
+let max_relative_error ~predicted ~observed =
+  let m, _n =
+    fold_valid "Error_metrics.max_relative_error"
+      (fun acc p o -> Float.max acc (Float.abs (p -. o) /. o))
+      0. ~predicted ~observed
+  in
+  m
+
+let rmse ~predicted ~observed =
+  paired "Error_metrics.rmse" ~predicted ~observed;
+  let n = Array.length observed in
+  if n = 0 then invalid_arg "Error_metrics.rmse: empty input";
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    let d = predicted.(i) -. observed.(i) in
+    total := !total +. (d *. d)
+  done;
+  sqrt (!total /. float_of_int n)

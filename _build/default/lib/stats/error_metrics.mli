@@ -1,0 +1,19 @@
+(** Model-accuracy metrics.
+
+    {!average_error} is exactly the paper's Section III metric:
+    [sum |predicted - observed| / observed / #observations], used to rank the
+    models in Figs. 9 and 10.  Observations with a nonpositive observed value
+    are skipped (they carry no information about relative error). *)
+
+val average_error : predicted:float array -> observed:float array -> float
+(** Mean relative absolute error.  Raises [Invalid_argument] on length
+    mismatch or when no usable observation remains. *)
+
+val rmse : predicted:float array -> observed:float array -> float
+(** Root mean squared error. *)
+
+val mean_signed_error : predicted:float array -> observed:float array -> float
+(** Mean of [(predicted - observed) / observed]: positive means the model
+    overestimates (the paper's criticism of TD-only). *)
+
+val max_relative_error : predicted:float array -> observed:float array -> float

@@ -1,0 +1,69 @@
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create_linear ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create_linear: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create_linear: bins <= 0";
+  { scale = Linear; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0 }
+
+let create_log ~lo ~hi ~bins =
+  if not (0. < lo && lo < hi) then invalid_arg "Histogram.create_log: need 0 < lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.create_log: bins <= 0";
+  { scale = Log; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0 }
+
+let n_bins t = Array.length t.counts
+
+let position t x =
+  match t.scale with
+  | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
+  | Log -> if x <= 0. then -1. else log (x /. t.lo) /. log (t.hi /. t.lo)
+
+let add t x =
+  let pos = position t x in
+  if pos < 0. then t.underflow <- t.underflow + 1
+  else if pos >= 1. then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float (pos *. float_of_int (n_bins t)) in
+    let i = min i (n_bins t - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_all t a = Array.iter (add t) a
+let count t i = t.counts.(i)
+let counts t = Array.copy t.counts
+let underflow t = t.underflow
+let overflow t = t.overflow
+let total t = Array.fold_left ( + ) 0 t.counts + t.underflow + t.overflow
+
+let edge t i =
+  let frac = float_of_int i /. float_of_int (n_bins t) in
+  match t.scale with
+  | Linear -> t.lo +. (frac *. (t.hi -. t.lo))
+  | Log -> t.lo *. ((t.hi /. t.lo) ** frac)
+
+let bin_edges t = Array.init (n_bins t + 1) (edge t)
+
+let bin_center t i =
+  let a = edge t i and b = edge t (i + 1) in
+  match t.scale with Linear -> (a +. b) /. 2. | Log -> sqrt (a *. b)
+
+let normalized t =
+  let in_range = Array.fold_left ( + ) 0 t.counts in
+  if in_range = 0 then Array.make (n_bins t) 0.
+  else Array.map (fun c -> float_of_int c /. float_of_int in_range) t.counts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "[%.4g, %.4g): %d@ " (edge t i) (edge t (i + 1)) c)
+    t.counts;
+  Format.fprintf ppf "underflow=%d overflow=%d@]" t.underflow t.overflow

@@ -1,0 +1,34 @@
+(** Fixed-bin histograms over floats, with linear or logarithmic binning.
+
+    Used by the experiment drivers to bucket per-interval loss frequencies
+    (log-spaced, matching the log-scale x axes of Figs. 7 and 12) and by the
+    loss-model tests to compare empirical distributions against theory. *)
+
+type t
+
+val create_linear : lo:float -> hi:float -> bins:int -> t
+(** Equal-width bins spanning [\[lo, hi)].  Requires [lo < hi], [bins > 0]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Bins equal-width in [log] space.  Requires [0 < lo < hi]. *)
+
+val add : t -> float -> unit
+(** Values outside the range are counted in underflow/overflow. *)
+
+val add_all : t -> float array -> unit
+val count : t -> int -> int
+val counts : t -> int array
+val underflow : t -> int
+val overflow : t -> int
+val total : t -> int
+
+val bin_edges : t -> float array
+(** [bins + 1] edges; bin [i] spans [edges.(i), edges.(i+1)). *)
+
+val bin_center : t -> int -> float
+(** Arithmetic center for linear bins, geometric center for log bins. *)
+
+val normalized : t -> float array
+(** Fraction of in-range samples in each bin; all zeros when empty. *)
+
+val pp : Format.formatter -> t -> unit

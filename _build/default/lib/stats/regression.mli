@@ -1,0 +1,20 @@
+(** Ordinary least-squares fits.
+
+    {!log_log_fit} is used in the tests to confirm the model's small-[p]
+    asymptotics: on a log-log scale, [B(p)] must approach slope [-1/2]
+    (the square-root law of eq. 20). *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination in [\[0, 1\]]. *)
+}
+
+val linear_fit : float array -> float array -> fit
+(** Least squares [y ~ slope * x + intercept].  Raises [Invalid_argument] on
+    length mismatch, fewer than two points, or zero variance in [x]. *)
+
+val log_log_fit : float array -> float array -> fit
+(** Fit on [(log x, log y)]; requires strictly positive data. *)
+
+val predict : fit -> float -> float

@@ -1,0 +1,97 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let default_seed = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 step: used only to expand a 64-bit seed into the four words of
+   xoshiro state, as recommended by the xoshiro authors. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ?(seed = default_seed) () =
+  let st = ref seed in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = bits64 t in
+  create ~seed ()
+
+(* Take the top 53 bits for a uniform double in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t lo hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec loop () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw n64 in
+    if Int64.sub raw v > Int64.sub (Int64.sub Int64.max_int n64) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let bool t = Int64.compare (bits64 t) 0L < 0
+
+let bernoulli t p =
+  assert (p >= 0. && p <= 1.);
+  float t < p
+
+let exponential t mean =
+  assert (mean > 0.);
+  let u = 1. -. float t in
+  -.mean *. log u
+
+let geometric t p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 1
+  else
+    let u = 1. -. float t in
+    (* Inverse-CDF: smallest k with 1 - (1-p)^k >= u. *)
+    let k = int_of_float (Float.ceil (log u /. log (1. -. p))) in
+    max 1 k
+
+let normal t ~mean ~std =
+  let u1 = 1. -. float t in
+  let u2 = float t in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (std *. z)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

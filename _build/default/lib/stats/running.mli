@@ -1,0 +1,27 @@
+(** Online (single-pass) statistics via Welford's algorithm.
+
+    The simulators feed per-round RTT samples and window sizes through these
+    accumulators so hour-long traces never have to buffer raw samples just to
+    report a mean. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** [0.] when empty. *)
+
+val variance : t -> float
+(** Unbiased; [0.] when fewer than two samples. *)
+
+val std : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel update). *)

@@ -1,0 +1,1 @@
+lib/tcp/connection.ml: Array Option Pftk_loss Pftk_netsim Pftk_stats Pftk_trace Receiver Reno Segment

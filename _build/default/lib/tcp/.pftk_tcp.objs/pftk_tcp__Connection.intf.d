@@ -1,0 +1,1 @@
+lib/tcp/connection.mli: Pftk_loss Pftk_netsim Pftk_trace Reno

@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Int List Pftk_netsim Segment Set

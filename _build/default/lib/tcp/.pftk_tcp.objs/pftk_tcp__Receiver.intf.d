@@ -1,0 +1,1 @@
+lib/tcp/receiver.mli: Pftk_netsim Segment

@@ -1,0 +1,1 @@
+lib/tcp/reno.ml: Array Float Hashtbl List Option Pftk_netsim Pftk_trace Rto Segment

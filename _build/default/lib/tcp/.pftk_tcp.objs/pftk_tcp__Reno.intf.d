@@ -1,0 +1,1 @@
+lib/tcp/reno.mli: Pftk_netsim Pftk_trace Segment

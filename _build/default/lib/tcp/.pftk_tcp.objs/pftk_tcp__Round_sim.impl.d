@@ -1,0 +1,1 @@
+lib/tcp/round_sim.ml: Array Float Pftk_core Pftk_loss Pftk_stats Pftk_trace

@@ -1,0 +1,1 @@
+lib/tcp/round_sim.mli: Pftk_core Pftk_loss Pftk_trace

@@ -1,0 +1,1 @@
+lib/tcp/shared_bottleneck.ml: Array Float List Option Pftk_core Pftk_netsim Pftk_stats Pftk_trace Receiver Reno Segment

@@ -1,0 +1,1 @@
+lib/tcp/shared_bottleneck.mli: Pftk_netsim Reno

@@ -1,0 +1,41 @@
+(** The receiving endpoint: in-order reassembly, cumulative ACKs, delayed
+    ACKs.
+
+    Policy (classic BSD-style, matching the paper's assumptions in §II):
+    - an in-order arrival is acknowledged immediately if it is the
+      [ack_every]-th unacknowledged one, otherwise the ACK is delayed up to
+      [delayed_ack_timeout];
+    - an out-of-order arrival, or one that fills a hole, triggers an
+      immediate ACK — this is what produces duplicate ACKs at the sender
+      ("these ACKs are not delayed", §II-B). *)
+
+type t
+
+val create :
+  ?ack_every:int ->
+  ?delayed_ack_timeout:float ->
+  ?sack:bool ->
+  sim:Pftk_netsim.Sim.t ->
+  send_ack:(Segment.ack -> unit) ->
+  unit ->
+  t
+(** [ack_every] defaults to 2 (the paper's [b]); [delayed_ack_timeout] to
+    0.2 s.  With [sack] (default false) every ACK carries up to three
+    SACK blocks describing the out-of-order data held above the
+    cumulative point. *)
+
+val on_data : t -> Segment.data -> unit
+(** Process an arriving data segment. *)
+
+val rcv_nxt : t -> int
+(** Next in-order segment expected. *)
+
+val segments_received : t -> int
+(** Distinct in-order segments delivered to the application: the
+    "throughput" counter of §V. *)
+
+val duplicates_received : t -> int
+(** Arrivals at or below the current cumulative point (spurious
+    retransmissions). *)
+
+val acks_sent : t -> int

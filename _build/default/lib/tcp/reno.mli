@@ -1,0 +1,85 @@
+(** A from-scratch TCP Reno bulk-transfer sender (saturated source).
+
+    Implements the behaviors the paper's model targets (§II):
+    slow start, congestion avoidance ([+1/cwnd] per ACK), fast retransmit
+    on [dup_ack_threshold] duplicate ACKs with window halving, timeout with
+    window reset to one and exponential timer backoff capped at
+    [2^backoff_cap], a receiver-window clamp [wm], and Karn/Jacobson RTO
+    estimation.  Loss recovery after a timeout is go-back-N with cumulative
+    ACK pruning (classic pre-SACK Reno).
+
+    The stack quirks the paper accounts for in §IV are configuration knobs:
+    Linux-style TD after 2 duplicate ACKs ([dup_ack_threshold = 2]) and the
+    Irix backoff cap of [2^5].
+
+    The sender is transport-agnostic: it emits segments through a callback
+    and is driven by {!on_ack} and its own simulator timers. *)
+
+type recovery_style =
+  | Reno_recovery
+      (** Exit fast recovery on the first new ACK (classic Reno; collapses
+          to a timeout when several packets of one window are lost). *)
+  | Newreno_recovery
+      (** Partial ACKs retransmit the next hole and stay in recovery
+          (RFC 6582): one lost packet recovered per RTT, no timeout. *)
+  | Sack_recovery
+      (** The receiver reports SACK blocks; the sender's scoreboard resends
+          all holes under the pipe limit within one recovery (RFC 6675,
+          cumulative-ACK flavored). *)
+
+type config = {
+  mss : int;  (** Segment payload bytes (wire size adds [header]). *)
+  header : int;
+  wm : int;  (** Receiver-advertised window, packets (the model's W_m). *)
+  initial_cwnd : float;
+  initial_ssthresh : float;
+  dup_ack_threshold : int;
+  backoff_cap : int;
+  min_rto : float;
+  max_rto : float;
+  recovery : recovery_style;  (** Default [Reno_recovery], the paper's. *)
+}
+
+val default_config : config
+(** MSS 1460 B + 40 B headers, [wm] 32, initial cwnd 1, ssthresh 64,
+    threshold 3, cap 6, RTO in [\[0.2 s, 240 s\]]. *)
+
+type t
+
+val create :
+  ?config:config ->
+  sim:Pftk_netsim.Sim.t ->
+  recorder:Pftk_trace.Recorder.t ->
+  transmit:(Segment.data -> unit) ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Begin transmitting (fills the initial window). *)
+
+val on_ack : t -> Segment.ack -> unit
+(** Feed an arriving cumulative ACK. *)
+
+val stop : t -> unit
+(** Cancel timers; the sender becomes inert. *)
+
+(** {2 Observables} *)
+
+val cwnd : t -> float
+val ssthresh : t -> float
+val flight : t -> int
+(** Outstanding segments, [snd_nxt - snd_una]. *)
+
+val snd_una : t -> int
+val snd_nxt : t -> int
+val packets_sent : t -> int
+(** All transmissions, retransmissions included (the model's send-rate
+    numerator). *)
+
+val retransmissions : t -> int
+val timeout_count : t -> int
+val fast_retransmit_count : t -> int
+
+val rtt_flight_samples : t -> (float * int) array
+(** Per valid RTT sample, the pair (sample, packets in flight when the
+    timed segment was sent) — the data behind §IV's correlation check. *)

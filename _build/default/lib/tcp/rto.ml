@@ -1,0 +1,52 @@
+type t = {
+  min_rto : float;
+  max_rto : float;
+  initial_rto : float;
+  granularity : float;
+  alpha : float;
+  beta : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable samples : int;
+}
+
+let create ?(initial_rto = 3.) ?(min_rto = 0.2) ?(max_rto = 240.)
+    ?(granularity = 0.1) ?(alpha = 0.125) ?(beta = 0.25) () =
+  if not (initial_rto > 0. && min_rto > 0. && max_rto >= min_rto) then
+    invalid_arg "Rto.create: inconsistent timer bounds";
+  if not (0. < alpha && alpha < 1. && 0. < beta && beta < 1.) then
+    invalid_arg "Rto.create: gains outside (0, 1)";
+  {
+    min_rto;
+    max_rto;
+    initial_rto;
+    granularity;
+    alpha;
+    beta;
+    srtt = 0.;
+    rttvar = 0.;
+    samples = 0;
+  }
+
+let observe t r =
+  if not (r > 0.) then invalid_arg "Rto.observe: sample must be positive";
+  if t.samples = 0 then begin
+    t.srtt <- r;
+    t.rttvar <- r /. 2.
+  end
+  else begin
+    t.rttvar <- ((1. -. t.beta) *. t.rttvar) +. (t.beta *. Float.abs (t.srtt -. r));
+    t.srtt <- ((1. -. t.alpha) *. t.srtt) +. (t.alpha *. r)
+  end;
+  t.samples <- t.samples + 1
+
+let srtt t = if t.samples = 0 then None else Some t.srtt
+let rttvar t = if t.samples = 0 then None else Some t.rttvar
+
+let rto t =
+  if t.samples = 0 then t.initial_rto
+  else
+    let raw = t.srtt +. Float.max t.granularity (4. *. t.rttvar) in
+    Float.min t.max_rto (Float.max t.min_rto raw)
+
+let samples t = t.samples

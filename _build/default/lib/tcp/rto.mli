@@ -1,0 +1,37 @@
+(** Retransmission-timeout estimation: Jacobson's smoothed RTT/variance
+    filter with Karn's rule.
+
+    Karn's rule — never take an RTT sample from a segment that was
+    retransmitted — is applied by the {e caller} (the sender knows which
+    segments were retransmitted); the paper's own trace analysis follows
+    the same algorithm when reporting average RTT (§III). *)
+
+type t
+
+val create :
+  ?initial_rto:float ->
+  ?min_rto:float ->
+  ?max_rto:float ->
+  ?granularity:float ->
+  ?alpha:float ->
+  ?beta:float ->
+  unit ->
+  t
+(** Defaults: initial RTO 3 s (RFC 1122), min 0.2 s (typical late-90s BSD
+    tick-based floor), max 240 s, granularity 0.1 s, gains
+    [alpha = 1/8], [beta = 1/4]. *)
+
+val observe : t -> float -> unit
+(** Feed one RTT sample (seconds, positive).  First sample initializes
+    [srtt = r], [rttvar = r/2]; later samples run the EWMA pair. *)
+
+val srtt : t -> float option
+(** Smoothed RTT; [None] before the first sample. *)
+
+val rttvar : t -> float option
+
+val rto : t -> float
+(** Current timer value: [srtt + max(granularity, 4 rttvar)], clamped to
+    [\[min_rto, max_rto\]]; [initial_rto] before any sample. *)
+
+val samples : t -> int

@@ -1,0 +1,14 @@
+type data = { seq : int; size : int; retransmission : bool }
+type ack = { ack : int; sacked : (int * int) list }
+
+let pp_data ppf { seq; size; retransmission } =
+  Format.fprintf ppf "data(seq=%d, %dB%s)" seq size
+    (if retransmission then ", rexmit" else "")
+
+let pp_ack ppf { ack; sacked } =
+  match sacked with
+  | [] -> Format.fprintf ppf "ack(%d)" ack
+  | blocks ->
+      Format.fprintf ppf "ack(%d, sack=%s)" ack
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) blocks))

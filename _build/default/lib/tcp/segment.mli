@@ -1,0 +1,23 @@
+(** Wire units exchanged by the simulated sender and receiver.
+
+    Sequence numbers are in whole segments (packets), not bytes: the paper's
+    model and measurements count packets, and a bulk-transfer sender always
+    sends full-MSS segments. *)
+
+type data = {
+  seq : int;  (** 0-based segment number. *)
+  size : int;  (** Bytes on the wire (MSS + headers). *)
+  retransmission : bool;
+}
+
+type ack = {
+  ack : int;  (** Cumulative: next segment expected by the receiver. *)
+  sacked : (int * int) list;
+      (** SACK blocks [(first, last)] (inclusive, in segments) of data
+          received above the cumulative point; empty when the receiver
+          does not do SACK.  At most three blocks, nearest-first, per the
+          option's size limit. *)
+}
+
+val pp_data : Format.formatter -> data -> unit
+val pp_ack : Format.formatter -> ack -> unit

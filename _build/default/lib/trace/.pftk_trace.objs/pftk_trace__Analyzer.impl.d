@@ -1,0 +1,1 @@
+lib/trace/analyzer.ml: Array Event Format Hashtbl List Pftk_stats Recorder String

@@ -1,0 +1,1 @@
+lib/trace/analyzer.mli: Event Format Recorder

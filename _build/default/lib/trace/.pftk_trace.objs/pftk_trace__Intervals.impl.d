@@ -1,0 +1,1 @@
+lib/trace/intervals.ml: Analyzer Array Event List Recorder

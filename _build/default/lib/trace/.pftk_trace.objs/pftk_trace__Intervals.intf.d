@@ -1,0 +1,1 @@
+lib/trace/intervals.mli: Recorder

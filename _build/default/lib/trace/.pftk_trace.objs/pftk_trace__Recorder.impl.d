@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Array Event Format List

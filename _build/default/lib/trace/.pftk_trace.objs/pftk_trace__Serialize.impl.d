@@ -1,0 +1,1 @@
+lib/trace/serialize.ml: Event Fun Printf Recorder String

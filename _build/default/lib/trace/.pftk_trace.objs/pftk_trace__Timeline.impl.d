@@ -1,0 +1,1 @@
+lib/trace/timeline.ml: Array Event List Printf Recorder

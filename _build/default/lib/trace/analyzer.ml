@@ -1,0 +1,215 @@
+type indication =
+  | Td of { at : float }
+  | To of { at : float; timeouts : int; first_timer : float }
+
+let indication_time = function Td { at } -> at | To { at; _ } -> at
+
+(* --- Ground-truth mode ------------------------------------------------- *)
+
+let ground_truth_indications events =
+  let out = ref [] in
+  let open_seq = ref None in
+  let close () =
+    match !open_seq with
+    | Some (at, count, first_timer) ->
+        out := To { at; timeouts = count; first_timer } :: !out;
+        open_seq := None
+    | None -> ()
+  in
+  Array.iter
+    (fun { Event.time; kind } ->
+      match kind with
+      | Event.Fast_retransmit_triggered _ ->
+          close ();
+          out := Td { at = time } :: !out
+      | Event.Timer_fired { backoff; rto } -> begin
+          match !open_seq with
+          | Some (at, count, first_timer) when backoff = count + 1 ->
+              open_seq := Some (at, count + 1, first_timer)
+          | _ ->
+              close ();
+              open_seq := Some (time, 1, rto)
+        end
+      | Event.Ack_received _ | Event.Segment_sent _ | Event.Rtt_sample _
+      | Event.Round_started _ | Event.Connection_closed ->
+          (* A backoff-1 firing after progress starts a new sequence; the
+             chain above keys on the backoff counter, so ordinary events
+             need no action here. *)
+          ())
+    events;
+  close ();
+  List.rev !out
+
+(* --- Inference mode ----------------------------------------------------- *)
+
+let infer_indications ?(dup_ack_threshold = 3) ?(min_timeout_gap = 0.15) events =
+  if dup_ack_threshold < 1 then
+    invalid_arg "Analyzer.infer_indications: dup_ack_threshold must be >= 1";
+  if not (min_timeout_gap > 0.) then
+    invalid_arg "Analyzer.infer_indications: min_timeout_gap must be positive";
+  let out = ref [] in
+  let highest_ack = ref (-1) in
+  let dup_ack = ref (-1) in
+  let dup_count = ref 0 in
+  let last_activity = ref 0. in
+  (* Open timeout sequence: (start time, firing count, first gap). *)
+  let open_seq = ref None in
+  let close () =
+    match !open_seq with
+    | Some (at, count, first_timer) ->
+        out := To { at; timeouts = count; first_timer } :: !out;
+        open_seq := None
+    | None -> ()
+  in
+  Array.iter
+    (fun { Event.time; kind } ->
+      match kind with
+      | Event.Ack_received { ack } ->
+          if ack > !highest_ack then begin
+            (* Cumulative progress ends any ongoing timeout sequence. *)
+            close ();
+            highest_ack := ack;
+            dup_ack := ack;
+            dup_count := 0
+          end
+          else if ack = !dup_ack then incr dup_count
+          else begin
+            dup_ack := ack;
+            dup_count := 1
+          end;
+          last_activity := time
+      | Event.Segment_sent { seq; retransmission; _ } ->
+          if retransmission then begin
+            let gap = time -. !last_activity in
+            if seq = !dup_ack && !dup_count >= dup_ack_threshold then begin
+              close ();
+              out := Td { at = time } :: !out;
+              dup_count := 0
+            end
+            else if gap >= min_timeout_gap then begin
+              match !open_seq with
+              | Some (at, count, first_timer) ->
+                  open_seq := Some (at, count + 1, first_timer)
+              | None -> open_seq := Some (time, 1, gap)
+            end
+            (* else: recovery-burst retransmission, not a new indication *)
+          end;
+          last_activity := time
+      | Event.Timer_fired _ | Event.Fast_retransmit_triggered _
+      | Event.Rtt_sample _ | Event.Round_started _ | Event.Connection_closed ->
+          ())
+    events;
+  close ();
+  List.rev !out
+
+(* --- Karn RTT matching -------------------------------------------------- *)
+
+let karn_rtt_samples events =
+  let send_time : (int, float) Hashtbl.t = Hashtbl.create 512 in
+  let tainted : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let highest_ack = ref 0 in
+  let samples = ref [] in
+  Array.iter
+    (fun { Event.time; kind } ->
+      match kind with
+      | Event.Segment_sent { seq; retransmission; _ } ->
+          if retransmission then Hashtbl.replace tainted seq ()
+          else if not (Hashtbl.mem send_time seq) then
+            Hashtbl.replace send_time seq time
+      | Event.Ack_received { ack } ->
+          if ack > !highest_ack then begin
+            for seq = !highest_ack to ack - 1 do
+              (match Hashtbl.find_opt send_time seq with
+              | Some sent when not (Hashtbl.mem tainted seq) ->
+                  samples := (time -. sent) :: !samples
+              | Some _ | None -> ());
+              Hashtbl.remove send_time seq;
+              Hashtbl.remove tainted seq
+            done;
+            highest_ack := ack
+          end
+      | Event.Timer_fired _ | Event.Fast_retransmit_triggered _
+      | Event.Rtt_sample _ | Event.Round_started _ | Event.Connection_closed ->
+          ())
+    events;
+  Array.of_list (List.rev !samples)
+
+(* --- Summaries ----------------------------------------------------------- *)
+
+type summary = {
+  duration : float;
+  packets_sent : int;
+  loss_indications : int;
+  td_count : int;
+  to_by_backoff : int array;
+  observed_p : float;
+  avg_rtt : float;
+  avg_t0 : float;
+  send_rate : float;
+}
+
+let bucketize indications =
+  let to_by_backoff = Array.make 6 0 in
+  let td_count = ref 0 in
+  let first_timers = ref [] in
+  List.iter
+    (function
+      | Td _ -> incr td_count
+      | To { timeouts; first_timer; _ } ->
+          let bucket = min (timeouts - 1) 5 in
+          to_by_backoff.(bucket) <- to_by_backoff.(bucket) + 1;
+          first_timers := first_timer :: !first_timers)
+    indications;
+  (!td_count, to_by_backoff, !first_timers)
+
+let mean_or_zero = function
+  | [] -> 0.
+  | samples -> Pftk_stats.Descriptive.mean_list samples
+
+let summarize ?(mode = `Ground_truth) ?dup_ack_threshold ?min_timeout_gap
+    recorder =
+  let events = Recorder.events recorder in
+  let indications =
+    match mode with
+    | `Ground_truth -> ground_truth_indications events
+    | `Infer -> infer_indications ?dup_ack_threshold ?min_timeout_gap events
+  in
+  let td_count, to_by_backoff, first_timers = bucketize indications in
+  let rtts =
+    match mode with
+    | `Infer -> Array.to_list (karn_rtt_samples events)
+    | `Ground_truth ->
+        Array.to_list events
+        |> List.filter_map (fun { Event.kind; _ } ->
+               match kind with
+               | Event.Rtt_sample { sample; _ } -> Some sample
+               | _ -> None)
+  in
+  let packets_sent =
+    Array.fold_left
+      (fun n e -> if Event.is_send e then n + 1 else n)
+      0 events
+  in
+  let duration = Recorder.duration recorder in
+  let loss_indications = List.length indications in
+  {
+    duration;
+    packets_sent;
+    loss_indications;
+    td_count;
+    to_by_backoff;
+    observed_p =
+      (if packets_sent = 0 then 0.
+       else float_of_int loss_indications /. float_of_int packets_sent);
+    avg_rtt = mean_or_zero rtts;
+    avg_t0 = mean_or_zero first_timers;
+    send_rate =
+      (if duration > 0. then float_of_int packets_sent /. duration else 0.);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "packets=%d indications=%d (td=%d, to=[%s]) p=%.4f rtt=%.3f t0=%.3f rate=%.2f"
+    s.packets_sent s.loss_indications s.td_count
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.to_by_backoff)))
+    s.observed_p s.avg_rtt s.avg_t0 s.send_rate

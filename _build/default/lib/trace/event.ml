@@ -1,0 +1,36 @@
+type kind =
+  | Segment_sent of {
+      seq : int;
+      retransmission : bool;
+      cwnd : float;
+      flight : int;
+    }
+  | Ack_received of { ack : int }
+  | Timer_fired of { backoff : int; rto : float }
+  | Fast_retransmit_triggered of { seq : int }
+  | Rtt_sample of { sample : float; srtt : float; rto : float }
+  | Round_started of { index : int; window : float }
+  | Connection_closed
+
+type t = { time : float; kind : kind }
+
+let pp ppf { time; kind } =
+  match kind with
+  | Segment_sent { seq; retransmission; cwnd; flight } ->
+      Format.fprintf ppf "%.6f send seq=%d%s cwnd=%.2f flight=%d" time seq
+        (if retransmission then " (rexmit)" else "")
+        cwnd flight
+  | Ack_received { ack } -> Format.fprintf ppf "%.6f ack %d" time ack
+  | Timer_fired { backoff; rto } ->
+      Format.fprintf ppf "%.6f timeout backoff=%d rto=%.3f" time backoff rto
+  | Fast_retransmit_triggered { seq } ->
+      Format.fprintf ppf "%.6f fast-retransmit seq=%d" time seq
+  | Rtt_sample { sample; srtt; rto } ->
+      Format.fprintf ppf "%.6f rtt-sample %.4f srtt=%.4f rto=%.3f" time sample
+        srtt rto
+  | Round_started { index; window } ->
+      Format.fprintf ppf "%.6f round %d window=%.2f" time index window
+  | Connection_closed -> Format.fprintf ppf "%.6f closed" time
+
+let is_send t = match t.kind with Segment_sent _ -> true | _ -> false
+let is_ack t = match t.kind with Ack_received _ -> true | _ -> false

@@ -1,0 +1,34 @@
+(** Sender-side trace events: the simulated counterpart of running tcpdump
+    at the sender (§III).
+
+    The analyzer ({!module:Analyzer}) reconstructs loss indications from
+    [Segment_sent]/[Ack_received] alone, exactly as the paper's analysis
+    programs worked from packet traces.  The sender additionally emits
+    [Timer_fired], [Fast_retransmit_triggered] and [Rtt_sample] ground-truth
+    events, which the test suite uses to validate the analyzer's inference
+    (the paper validated its programs against tcptrace and ns). *)
+
+type kind =
+  | Segment_sent of {
+      seq : int;  (** Segment sequence number, in packets (0-based). *)
+      retransmission : bool;
+      cwnd : float;  (** Congestion window at send time, packets. *)
+      flight : int;  (** Outstanding segments after this send. *)
+    }
+  | Ack_received of { ack : int (** Next expected seq (cumulative). *) }
+  | Timer_fired of {
+      backoff : int;  (** 1 for a first timeout, 2 for a doubled timer, ... *)
+      rto : float;  (** Timer value that just expired, seconds. *)
+    }
+  | Fast_retransmit_triggered of { seq : int }
+  | Rtt_sample of { sample : float; srtt : float; rto : float }
+  | Round_started of { index : int; window : float }
+      (** Emitted by the round-based simulator only. *)
+  | Connection_closed
+
+type t = { time : float; kind : kind }
+
+val pp : Format.formatter -> t -> unit
+
+val is_send : t -> bool
+val is_ack : t -> bool

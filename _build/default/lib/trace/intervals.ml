@@ -1,0 +1,68 @@
+type classification = Td_only | T0 | T1 | T2_plus | Quiet
+
+let classification_label = function
+  | Td_only -> "TD"
+  | T0 -> "T0"
+  | T1 -> "T1"
+  | T2_plus -> "T2+"
+  | Quiet -> "quiet"
+
+type interval = {
+  index : int;
+  start : float;
+  stop : float;
+  packets_sent : int;
+  loss_indications : int;
+  observed_p : float;
+  classification : classification;
+}
+
+let classify indications =
+  let deepest = ref (-1) in
+  let any_td = ref false in
+  List.iter
+    (function
+      | Analyzer.Td _ -> any_td := true
+      | Analyzer.To { timeouts; _ } -> deepest := max !deepest timeouts)
+    indications;
+  if !deepest >= 3 then T2_plus
+  else if !deepest = 2 then T1
+  else if !deepest = 1 then T0
+  else if !any_td then Td_only
+  else Quiet
+
+let split ?(mode = `Ground_truth) ?dup_ack_threshold ~width recorder =
+  if not (width > 0.) then invalid_arg "Intervals.split: width must be positive";
+  let events = Recorder.events recorder in
+  let indications =
+    match mode with
+    | `Ground_truth -> Analyzer.ground_truth_indications events
+    | `Infer -> Analyzer.infer_indications ?dup_ack_threshold events
+  in
+  let duration = Recorder.duration recorder in
+  let bins = int_of_float (duration /. width) in
+  List.init bins (fun index ->
+      let start = float_of_int index *. width in
+      let stop = start +. width in
+      let in_bin t = t >= start && t < stop in
+      let packets_sent =
+        Array.fold_left
+          (fun n e ->
+            if Event.is_send e && in_bin e.Event.time then n + 1 else n)
+          0 events
+      in
+      let here =
+        List.filter (fun i -> in_bin (Analyzer.indication_time i)) indications
+      in
+      let loss_indications = List.length here in
+      {
+        index;
+        start;
+        stop;
+        packets_sent;
+        loss_indications;
+        observed_p =
+          (if packets_sent = 0 then 0.
+           else float_of_int loss_indications /. float_of_int packets_sent);
+        classification = classify here;
+      })

@@ -1,0 +1,34 @@
+(** Fixed-width interval binning of a trace: §III divides each 1-h trace
+    into 36 consecutive 100-s intervals and, per interval, measures the
+    number of packets sent and the frequency of loss indications — the
+    scatter points of Fig. 7 — classifying each interval by the worst loss
+    event it contains. *)
+
+type classification =
+  | Td_only  (** No timeouts in the interval (TD indications at most). *)
+  | T0  (** At least one single timeout, no exponential backoff. *)
+  | T1  (** At least one double timeout. *)
+  | T2_plus  (** Deeper backoff. *)
+  | Quiet  (** No loss indication at all. *)
+
+val classification_label : classification -> string
+
+type interval = {
+  index : int;
+  start : float;
+  stop : float;
+  packets_sent : int;
+  loss_indications : int;
+  observed_p : float;  (** indications / packets (0 when no packets). *)
+  classification : classification;
+}
+
+val split :
+  ?mode:[ `Ground_truth | `Infer ] ->
+  ?dup_ack_threshold:int ->
+  width:float ->
+  Recorder.t ->
+  interval list
+(** Bin a trace into consecutive [width]-second intervals (the trailing
+    partial interval is dropped, as the paper's fixed 36 bins imply).
+    Raises [Invalid_argument] when [width <= 0.]. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable buf : Event.t array;
+  mutable size : int;
+  mutable last_time : float;
+}
+
+let placeholder : Event.t = { time = 0.; kind = Event.Connection_closed }
+
+let create () = { buf = Array.make 1024 placeholder; size = 0; last_time = 0. }
+
+let record t ~time kind =
+  if time < t.last_time then invalid_arg "Recorder.record: time went backwards";
+  t.last_time <- time;
+  if t.size = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.size) placeholder in
+    Array.blit t.buf 0 bigger 0 t.size;
+    t.buf <- bigger
+  end;
+  t.buf.(t.size) <- { time; kind };
+  t.size <- t.size + 1
+
+let length t = t.size
+let events t = Array.sub t.buf 0 t.size
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.buf.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun e -> acc := f !acc e) t;
+  !acc
+
+let between t ~start ~stop =
+  let out = ref [] in
+  iter
+    (fun e -> if e.Event.time >= start && e.Event.time < stop then out := e :: !out)
+    t;
+  Array.of_list (List.rev !out)
+
+let duration t = if t.size = 0 then 0. else t.buf.(t.size - 1).Event.time
+
+let packets_sent t =
+  fold (fun n e -> if Event.is_send e then n + 1 else n) 0 t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter (fun e -> Format.fprintf ppf "%a@ " Event.pp e) t;
+  Format.fprintf ppf "@]"

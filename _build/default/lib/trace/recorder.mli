@@ -1,0 +1,29 @@
+(** An append-only buffer of trace events, timestamped from the simulation
+    clock by the sender that owns it. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> Event.kind -> unit
+(** Timestamps must be non-decreasing; raises [Invalid_argument]
+    otherwise (the simulator never goes back in time). *)
+
+val length : t -> int
+val events : t -> Event.t array
+(** Snapshot copy, in record order. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+val between : t -> start:float -> stop:float -> Event.t array
+(** Events with [start <= time < stop]. *)
+
+val duration : t -> float
+(** Timestamp of the last event, [0.] when empty. *)
+
+val packets_sent : t -> int
+(** Count of [Segment_sent] events (retransmissions included — the paper's
+    send rate counts every transmission). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* %h floats round-trip exactly through hexadecimal notation; times use it
+   so that re-analysis of a saved trace is bit-identical. *)
+
+let line_of_event { Event.time; kind } =
+  match kind with
+  | Event.Segment_sent { seq; retransmission; cwnd; flight } ->
+      Printf.sprintf "%h send %d %b %h %d" time seq retransmission cwnd flight
+  | Event.Ack_received { ack } -> Printf.sprintf "%h ack %d" time ack
+  | Event.Timer_fired { backoff; rto } ->
+      Printf.sprintf "%h timeout %d %h" time backoff rto
+  | Event.Fast_retransmit_triggered { seq } ->
+      Printf.sprintf "%h fastrexmit %d" time seq
+  | Event.Rtt_sample { sample; srtt; rto } ->
+      Printf.sprintf "%h rtt %h %h %h" time sample srtt rto
+  | Event.Round_started { index; window } ->
+      Printf.sprintf "%h round %d %h" time index window
+  | Event.Connection_closed -> Printf.sprintf "%h close" time
+
+let write_event oc event =
+  output_string oc (line_of_event event);
+  output_char oc '\n'
+
+let write oc recorder =
+  output_string oc "# pftk trace v1\n";
+  Recorder.iter (write_event oc) recorder
+
+let malformed line = failwith (Printf.sprintf "Serialize: malformed line %S" line)
+
+let event_of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    let fail () = malformed line in
+    let float_of s = try float_of_string s with Failure _ -> fail () in
+    let int_of s = try int_of_string s with Failure _ -> fail () in
+    let bool_of s = try bool_of_string s with Invalid_argument _ -> fail () in
+    match String.split_on_char ' ' line with
+    | time :: "send" :: [ seq; rexmit; cwnd; flight ] ->
+        Some
+          {
+            Event.time = float_of time;
+            kind =
+              Event.Segment_sent
+                {
+                  seq = int_of seq;
+                  retransmission = bool_of rexmit;
+                  cwnd = float_of cwnd;
+                  flight = int_of flight;
+                };
+          }
+    | time :: "ack" :: [ ack ] ->
+        Some
+          { Event.time = float_of time; kind = Event.Ack_received { ack = int_of ack } }
+    | time :: "timeout" :: [ backoff; rto ] ->
+        Some
+          {
+            Event.time = float_of time;
+            kind =
+              Event.Timer_fired { backoff = int_of backoff; rto = float_of rto };
+          }
+    | time :: "fastrexmit" :: [ seq ] ->
+        Some
+          {
+            Event.time = float_of time;
+            kind = Event.Fast_retransmit_triggered { seq = int_of seq };
+          }
+    | time :: "rtt" :: [ sample; srtt; rto ] ->
+        Some
+          {
+            Event.time = float_of time;
+            kind =
+              Event.Rtt_sample
+                {
+                  sample = float_of sample;
+                  srtt = float_of srtt;
+                  rto = float_of rto;
+                };
+          }
+    | time :: "round" :: [ index; window ] ->
+        Some
+          {
+            Event.time = float_of time;
+            kind =
+              Event.Round_started
+                { index = int_of index; window = float_of window };
+          }
+    | [ time; "close" ] ->
+        Some { Event.time = float_of time; kind = Event.Connection_closed }
+    | _ -> fail ()
+  end
+
+let read ic =
+  let recorder = Recorder.create () in
+  (try
+     while true do
+       let line = input_line ic in
+       match event_of_line line with
+       | Some { Event.time; kind } -> Recorder.record recorder ~time kind
+       | None -> ()
+     done
+   with End_of_file -> ());
+  recorder
+
+let save path recorder =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc recorder)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

@@ -1,0 +1,29 @@
+(** Plain-text trace serialization: one event per line, so simulated traces
+    can be saved, inspected with standard Unix tools, and re-analyzed later
+    — the workflow the paper had with raw tcpdump files.
+
+    Format: [<time> <tag> <fields...>] with tags
+    [send seq rexmit cwnd flight | ack n | timeout backoff rto |
+     fastrexmit seq | rtt sample srtt rto | round index window | close].
+    Lines starting with [#] are comments.  The format round-trips every
+    {!Event.t} exactly (property-tested). *)
+
+val write_event : out_channel -> Event.t -> unit
+val write : out_channel -> Recorder.t -> unit
+
+val event_of_line : string -> Event.t option
+(** [None] on comments and blank lines; raises [Failure] on a malformed
+    line (with the offending content in the message). *)
+
+val read : in_channel -> Recorder.t
+(** Reads to EOF.  Raises [Failure] on malformed input or non-monotonic
+    timestamps. *)
+
+val save : string -> Recorder.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Recorder.t
+(** Read from a file path. *)
+
+val line_of_event : Event.t -> string
+(** The single-line encoding (no trailing newline). *)

@@ -1,0 +1,84 @@
+type point = { time : float; value : float }
+
+let collect f recorder =
+  Recorder.fold
+    (fun acc e -> match f e with Some pt -> pt :: acc | None -> acc)
+    [] recorder
+  |> List.rev
+
+let sequence_numbers recorder =
+  let firsts =
+    collect
+      (fun { Event.time; kind } ->
+        match kind with
+        | Event.Segment_sent { seq; retransmission = false; _ } ->
+            Some { time; value = float_of_int seq }
+        | _ -> None)
+      recorder
+  in
+  let rexmits =
+    collect
+      (fun { Event.time; kind } ->
+        match kind with
+        | Event.Segment_sent { seq; retransmission = true; _ } ->
+            Some { time; value = float_of_int seq }
+        | _ -> None)
+      recorder
+  in
+  (firsts, rexmits)
+
+let congestion_window recorder =
+  collect
+    (fun { Event.time; kind } ->
+      match kind with
+      | Event.Segment_sent { cwnd; _ } -> Some { time; value = cwnd }
+      | _ -> None)
+    recorder
+
+let ack_progress recorder =
+  collect
+    (fun { Event.time; kind } ->
+      match kind with
+      | Event.Ack_received { ack } -> Some { time; value = float_of_int ack }
+      | _ -> None)
+    recorder
+
+let goodput ?(window = 10.) recorder =
+  if not (window > 0.) then invalid_arg "Timeline.goodput: window must be positive";
+  let duration = Recorder.duration recorder in
+  let bins = int_of_float (duration /. window) in
+  let counts = Array.make (max 1 bins) 0 in
+  Recorder.iter
+    (fun e ->
+      if Event.is_send e then begin
+        let bin = int_of_float (e.Event.time /. window) in
+        if bin < Array.length counts then counts.(bin) <- counts.(bin) + 1
+      end)
+    recorder;
+  List.init (max 0 bins) (fun i ->
+      {
+        time = (float_of_int i +. 0.5) *. window;
+        value = float_of_int counts.(i) /. window;
+      })
+
+let rtt_series recorder =
+  collect
+    (fun { Event.time; kind } ->
+      match kind with
+      | Event.Rtt_sample { sample; _ } -> Some { time; value = sample }
+      | _ -> None)
+    recorder
+
+let summary_line recorder =
+  let sends = Recorder.packets_sent recorder in
+  let rexmits =
+    Recorder.fold
+      (fun n e ->
+        match e.Event.kind with
+        | Event.Segment_sent { retransmission = true; _ } -> n + 1
+        | _ -> n)
+      0 recorder
+  in
+  Printf.sprintf "%.1f s, %d packets (%d retransmissions), %d events"
+    (Recorder.duration recorder)
+    sends rexmits (Recorder.length recorder)

@@ -1,0 +1,32 @@
+(** Time-series extraction from traces: the tcptrace-style views ([11] in
+    the paper's references — the tool the authors verified their analysis
+    against).
+
+    Produces plottable series from a recorded trace: the sequence-time
+    diagram (sends and retransmissions), the congestion-window trajectory,
+    cumulative-ACK progress, and a goodput-over-time series.  The CLI and
+    examples feed these to {!Pftk_experiments.Ascii_plot}-style renderers
+    or external tools. *)
+
+type point = { time : float; value : float }
+
+val sequence_numbers : Recorder.t -> point list * point list
+(** (first transmissions, retransmissions): the classic time-sequence
+    diagram's two point clouds, seq number vs time. *)
+
+val congestion_window : Recorder.t -> point list
+(** cwnd at each send, as the sender recorded it. *)
+
+val ack_progress : Recorder.t -> point list
+(** Cumulative ACK value over time (monotone steps). *)
+
+val goodput : ?window:float -> Recorder.t -> point list
+(** Sliding send-rate series: packets sent per [window] seconds (default
+    10), one point per window.  Raises [Invalid_argument] when
+    [window <= 0.]. *)
+
+val rtt_series : Recorder.t -> point list
+(** Karn-valid RTT samples over time (from the sender's own records). *)
+
+val summary_line : Recorder.t -> string
+(** One-line digest: duration, packets, retransmissions, distinct events. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Approx_model Array Float Full_model Inverse List Markov Model Params Pftk_core Printf QCheck QCheck_alcotest Qhat Sweep Tdonly Throughput Timeouts

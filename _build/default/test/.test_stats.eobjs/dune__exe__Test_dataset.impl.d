@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Float List Pftk_core Pftk_dataset Pftk_stats Pftk_tcp Pftk_trace

@@ -1,0 +1,1 @@
+test/test_loss.ml: Alcotest Fun List Pftk_loss Pftk_stats String

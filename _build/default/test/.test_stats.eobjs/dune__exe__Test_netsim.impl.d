@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Float List Pftk_netsim Pftk_stats Printf

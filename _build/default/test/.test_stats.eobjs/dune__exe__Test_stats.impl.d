@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Correlation Descriptive Error_metrics Float Gen Histogram List Pftk_stats QCheck QCheck_alcotest Regression Rng Running

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Float Full_model List Option Params Pftk_core Pftk_loss Pftk_netsim Pftk_stats Pftk_tcp Pftk_trace Printf

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Float List Pftk_loss Pftk_stats Pftk_tcp Pftk_trace String

@@ -1,0 +1,239 @@
+(* Tests for pftk_dataset: the Table I host catalog, the Table II data,
+   path profiles, and the calibrated workload generators. *)
+
+module Host = Pftk_dataset.Host
+module Table2_data = Pftk_dataset.Table2_data
+module Path_profile = Pftk_dataset.Path_profile
+module Workload = Pftk_dataset.Workload
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* --- Host ---------------------------------------------------------------------- *)
+
+let test_host_count () =
+  Alcotest.(check int) "19 hosts as in Table I" 19 (List.length Host.all)
+
+let test_host_find () =
+  (match Host.find "manic" with
+  | Some h ->
+      Alcotest.(check string) "domain" "cs.umass.edu" h.Host.domain;
+      Alcotest.(check bool) "Irix" true (h.Host.family = Host.Irix)
+  | None -> Alcotest.fail "manic missing");
+  Alcotest.(check bool) "unknown host" true (Host.find "nonesuch" = None)
+
+let test_host_tweaks () =
+  let linux = Host.reno_tweaks Host.Linux in
+  Alcotest.(check int) "Linux TD after 2 dup acks" 2 linux.Host.dup_ack_threshold;
+  let irix = Host.reno_tweaks Host.Irix in
+  Alcotest.(check int) "Irix backoff cap 2^5" 5 irix.Host.backoff_cap;
+  let sunos = Host.reno_tweaks Host.Sunos5 in
+  Alcotest.(check int) "default threshold" 3 sunos.Host.dup_ack_threshold;
+  Alcotest.(check int) "default cap" 6 sunos.Host.backoff_cap
+
+let test_host_families_cover_table () =
+  List.iter
+    (fun h -> ignore (Host.reno_tweaks h.Host.family))
+    Host.all
+
+(* --- Table II data ---------------------------------------------------------------- *)
+
+let test_table2_row_count () =
+  Alcotest.(check int) "24 published rows" 24 (List.length Table2_data.rows)
+
+let test_table2_internal_consistency () =
+  (* Loss indications ~ TD + sum of timeout buckets.  The published table
+     itself is off by a handful on three rows (void-ganef by 2, void-tove
+     by 8, babel-alps by 5 -- presumably events straddling category
+     boundaries), so the check allows 1%. *)
+  List.iter
+    (fun r ->
+      let parts =
+        r.Table2_data.td + Array.fold_left ( + ) 0 r.Table2_data.to_counts
+      in
+      let gap = abs (r.Table2_data.loss_indications - parts) in
+      Alcotest.(check bool)
+        (r.Table2_data.sender ^ "-" ^ r.Table2_data.receiver)
+        true
+        (100 * gap <= r.Table2_data.loss_indications))
+    Table2_data.rows
+
+let test_table2_find () =
+  (match Table2_data.find ~sender:"manic" ~receiver:"alps" with
+  | Some r -> Alcotest.(check int) "packets" 54402 r.Table2_data.packets_sent
+  | None -> Alcotest.fail "row missing");
+  Alcotest.(check bool) "absent pair" true
+    (Table2_data.find ~sender:"alps" ~receiver:"manic" = None)
+
+let test_table2_observed_p () =
+  match Table2_data.find ~sender:"manic" ~receiver:"baskerville" with
+  | Some r -> check_float ~eps:1e-9 "p = 735/58120" (735. /. 58120.)
+      (Table2_data.observed_p r)
+  | None -> Alcotest.fail "row missing"
+
+let test_table2_timeouts_dominate () =
+  (* The paper's headline: timeouts are the majority or a significant
+     fraction everywhere.  Quantified: > 35% in every trace, majority in
+     at least 20 of 24. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Table2_data.sender ^ "-" ^ r.Table2_data.receiver ^ " significant")
+        true
+        (Table2_data.timeout_fraction r > 0.35))
+    Table2_data.rows;
+  let majority =
+    List.filter (fun r -> Table2_data.timeout_fraction r > 0.5) Table2_data.rows
+  in
+  Alcotest.(check bool) "majority in most traces" true
+    (List.length majority >= 20)
+
+(* --- Path profiles ------------------------------------------------------------------- *)
+
+let test_profiles_cover_table2 () =
+  Alcotest.(check int) "one profile per row" 24 (List.length Path_profile.all);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Path_profile.label p ^ " has its row")
+        true
+        (p.Path_profile.table2 <> None))
+    Path_profile.all
+
+let test_profiles_valid_params () =
+  List.iter
+    (fun p -> Pftk_core.Params.validate (Path_profile.params p))
+    (Path_profile.all @ Path_profile.extras)
+
+let test_published_wm () =
+  (* The Fig. 7 captions pin these five windows. *)
+  List.iter
+    (fun (sender, receiver, wm) ->
+      match Path_profile.find ~sender ~receiver with
+      | Some p ->
+          Alcotest.(check int) (sender ^ "-" ^ receiver) wm p.Path_profile.wm;
+          Alcotest.(check bool) "flagged published" true p.Path_profile.wm_published
+      | None -> Alcotest.failf "missing %s-%s" sender receiver)
+    [
+      ("manic", "baskerville", 6);
+      ("pif", "imagine", 8);
+      ("pif", "manic", 33);
+      ("void", "alps", 48);
+      ("void", "tove", 8);
+    ]
+
+let test_fig_paths () =
+  Alcotest.(check int) "six Fig. 7 panels" 6 (List.length Path_profile.fig7_paths);
+  Alcotest.(check int) "six Fig. 8 panels" 6 (List.length Path_profile.fig8_paths);
+  Alcotest.(check string) "modem receiver" "p5" Path_profile.modem.Path_profile.receiver;
+  check_float "modem rtt" 4.726 Path_profile.modem.Path_profile.rtt
+
+let test_profile_loss_rates_sane () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Path_profile.label p ^ " loss in (0, 0.2)")
+        true
+        (p.Path_profile.loss_rate > 0. && p.Path_profile.loss_rate < 0.2))
+    (Path_profile.all @ Path_profile.extras)
+
+(* --- Workload -------------------------------------------------------------------------- *)
+
+let profile () =
+  match Path_profile.find ~sender:"manic" ~receiver:"ganef" with
+  | Some p -> p
+  | None -> Alcotest.fail "profile missing"
+
+let test_sim_config_tweaks () =
+  (* manic runs Irix: backoff cap 5.  void runs Linux: threshold 2. *)
+  let manic = Workload.sim_config (profile ()) in
+  Alcotest.(check int) "Irix cap" 5 manic.Pftk_tcp.Round_sim.backoff_cap;
+  match Path_profile.find ~sender:"void" ~receiver:"ganef" with
+  | Some p ->
+      let cfg = Workload.sim_config p in
+      Alcotest.(check int) "Linux threshold" 2
+        cfg.Pftk_tcp.Round_sim.dup_ack_threshold
+  | None -> Alcotest.fail "void-ganef missing"
+
+let test_targets_from_row () =
+  let rate, to_frac, depth = Workload.targets (profile ()) in
+  Alcotest.(check bool) "rate matches row" true
+    (Float.abs (rate -. (743. /. 58924.)) < 1e-9);
+  Alcotest.(check bool) "to fraction in (0,1)" true (to_frac > 0. && to_frac < 1.);
+  Alcotest.(check bool) "depth >= 1" true (depth >= 1.)
+
+let test_calibration_hits_loss_target () =
+  let p = profile () in
+  let cal = Workload.calibrate ~seed:31L p in
+  let rng = Pftk_stats.Rng.create ~seed:99L () in
+  let result =
+    Pftk_tcp.Round_sim.run ~seed:99L ~duration:2000.
+      ~loss:(Workload.loss_process rng cal)
+      (Workload.sim_config p)
+  in
+  let target, _, _ = Workload.targets p in
+  Alcotest.(check bool) "within 40% of target rate" true
+    (Float.abs (result.Pftk_tcp.Round_sim.observed_p -. target) /. target < 0.4)
+
+let test_run_for_records () =
+  let trace = Workload.run_for ~seed:32L ~duration:300. (profile ()) in
+  Alcotest.(check bool) "events recorded" true
+    (Pftk_trace.Recorder.length trace.Workload.recorder > 100);
+  Alcotest.(check int) "recorder agrees with result"
+    trace.Workload.result.Pftk_tcp.Round_sim.packets_sent
+    (Pftk_trace.Recorder.packets_sent trace.Workload.recorder)
+
+let test_batch_count_and_independence () =
+  let traces = Workload.batch_100s ~seed:33L ~count:5 (profile ()) in
+  Alcotest.(check int) "five connections" 5 (List.length traces);
+  let counts =
+    List.map (fun t -> t.Workload.result.Pftk_tcp.Round_sim.packets_sent) traces
+  in
+  (* Different seeds: not all identical. *)
+  Alcotest.(check bool) "streams differ" true
+    (List.exists (fun c -> c <> List.hd counts) (List.tl counts))
+
+let test_hour_trace_duration () =
+  let trace = Workload.run_for ~seed:34L ~duration:900. (profile ()) in
+  Alcotest.(check bool) "ran at least the requested time" true
+    (trace.Workload.result.Pftk_tcp.Round_sim.duration >= 900.)
+
+let () =
+  Alcotest.run "pftk_dataset"
+    [
+      ( "host",
+        [
+          case "count" test_host_count;
+          case "find" test_host_find;
+          case "OS tweaks" test_host_tweaks;
+          case "families total" test_host_families_cover_table;
+        ] );
+      ( "table2-data",
+        [
+          case "row count" test_table2_row_count;
+          case "internal consistency" test_table2_internal_consistency;
+          case "find" test_table2_find;
+          case "observed p" test_table2_observed_p;
+          case "timeouts dominate" test_table2_timeouts_dominate;
+        ] );
+      ( "path-profile",
+        [
+          case "covers Table II" test_profiles_cover_table2;
+          case "valid params" test_profiles_valid_params;
+          case "published Wm" test_published_wm;
+          case "figure path sets" test_fig_paths;
+          case "loss rates sane" test_profile_loss_rates_sane;
+        ] );
+      ( "workload",
+        [
+          case "OS tweaks applied" test_sim_config_tweaks;
+          case "targets from row" test_targets_from_row;
+          slow_case "calibration hits target" test_calibration_hits_loss_target;
+          case "run_for records" test_run_for_records;
+          case "batch" test_batch_count_and_independence;
+          case "hour trace duration" test_hour_trace_duration;
+        ] );
+    ]

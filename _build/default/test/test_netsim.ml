@@ -1,0 +1,466 @@
+(* Tests for pftk_netsim: event queue semantics, queue disciplines, link
+   timing/drop behavior, duplex paths. *)
+
+module Sim = Pftk_netsim.Sim
+module Queue_discipline = Pftk_netsim.Queue_discipline
+module Link = Pftk_netsim.Link
+module Path = Pftk_netsim.Path
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let case name f = Alcotest.test_case name `Quick f
+let rng () = Pftk_stats.Rng.create ~seed:1L ()
+
+(* --- Sim -------------------------------------------------------------------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.schedule sim ~delay:3. (note "c"));
+  ignore (Sim.schedule sim ~delay:1. (note "a"));
+  ignore (Sim.schedule sim ~delay:2. (note "b"));
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_sim_fifo_ties () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule sim ~delay:1. (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref 0. in
+  ignore (Sim.schedule sim ~delay:2.5 (fun () -> seen := Sim.now sim));
+  Sim.run sim;
+  check_float "clock at event time" 2.5 !seen;
+  check_float "clock after run" 2.5 (Sim.now sim)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let finished = ref 0. in
+  ignore
+    (Sim.schedule sim ~delay:1. (fun () ->
+         ignore (Sim.schedule sim ~delay:1. (fun () -> finished := Sim.now sim))));
+  Sim.run sim;
+  check_float "nested event at t=2" 2. !finished
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let e = Sim.schedule sim ~delay:1. (fun () -> fired := true) in
+  Sim.cancel e;
+  Alcotest.(check bool) "marked cancelled" true (Sim.cancelled e);
+  Sim.run sim;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore (Sim.schedule sim ~delay:1. (fun () -> fired := 1 :: !fired));
+  ignore (Sim.schedule sim ~delay:5. (fun () -> fired := 5 :: !fired));
+  Sim.run ~until:3. sim;
+  Alcotest.(check (list int)) "only early event" [ 1 ] !fired;
+  check_float "clock parked at horizon" 3. (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check (list int)) "late event eventually fires" [ 5; 1 ] !fired
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:1. ignore);
+  Alcotest.(check bool) "one step" true (Sim.step sim);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim)
+
+let test_sim_pending () =
+  let sim = Sim.create () in
+  let e = Sim.schedule sim ~delay:1. ignore in
+  ignore (Sim.schedule sim ~delay:2. ignore);
+  Alcotest.(check int) "two pending" 2 (Sim.pending sim);
+  Sim.cancel e;
+  Alcotest.(check int) "one pending after cancel" 1 (Sim.pending sim)
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:1. ignore);
+  Sim.run sim;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Sim.schedule_at: time in the past") (fun () ->
+      ignore (Sim.schedule_at sim ~time:0.5 ignore));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      ignore (Sim.schedule sim ~delay:(-1.) ignore))
+
+let test_sim_run_until_skips_cancelled_head () =
+  (* Regression: a cancelled event at the heap head must not let run-until
+     dispatch a live event beyond the horizon (which would move the clock
+     past it and then snap backwards). *)
+  let sim = Sim.create () in
+  let fired_at = ref [] in
+  let early = Sim.schedule sim ~delay:1. (fun () -> fired_at := 1. :: !fired_at) in
+  ignore (Sim.schedule sim ~delay:50. (fun () -> fired_at := 50. :: !fired_at));
+  Sim.cancel early;
+  Sim.run ~until:10. sim;
+  Alcotest.(check (list (float 1e-9))) "nothing fired" [] !fired_at;
+  check_float "clock parked at horizon" 10. (Sim.now sim);
+  (* And the clock never goes backwards on subsequent scheduling. *)
+  ignore (Sim.schedule sim ~delay:1. ignore);
+  Sim.run ~until:12. sim;
+  check_float "still monotone" 12. (Sim.now sim)
+
+let test_sim_many_events () =
+  (* Stress the heap beyond its initial capacity with a reverse-sorted load. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let last = ref neg_infinity in
+  for i = 1000 downto 1 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i) (fun () ->
+           incr count;
+           Alcotest.(check bool) "monotone dispatch" true (Sim.now sim >= !last);
+           last := Sim.now sim))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "all fired" 1000 !count
+
+(* --- Queue disciplines --------------------------------------------------------- *)
+
+let test_drop_tail () =
+  let d = Queue_discipline.drop_tail ~capacity:2 in
+  let st = Queue_discipline.init d in
+  let rng = rng () in
+  Alcotest.(check bool) "admit 0" true
+    (Queue_discipline.admit d st ~rng ~queue_length:0);
+  Alcotest.(check bool) "admit 1" true
+    (Queue_discipline.admit d st ~rng ~queue_length:1);
+  Alcotest.(check bool) "drop at capacity" false
+    (Queue_discipline.admit d st ~rng ~queue_length:2)
+
+let test_red_below_min () =
+  let d =
+    Queue_discipline.red ~capacity:100 ~min_threshold:5. ~max_threshold:15. ()
+  in
+  let st = Queue_discipline.init d in
+  let rng = rng () in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "no drop below min threshold" true
+      (Queue_discipline.admit d st ~rng ~queue_length:1)
+  done
+
+let test_red_above_max () =
+  let d =
+    Queue_discipline.red ~weight:1. ~capacity:100 ~min_threshold:2.
+      ~max_threshold:10. ()
+  in
+  let st = Queue_discipline.init d in
+  let rng = rng () in
+  (* weight 1 makes the average jump straight to the sample. *)
+  Alcotest.(check bool) "drop above max threshold" false
+    (Queue_discipline.admit d st ~rng ~queue_length:50)
+
+let test_red_gentle_region_drops_sometimes () =
+  let d =
+    Queue_discipline.red ~weight:1. ~max_probability:0.5 ~capacity:100
+      ~min_threshold:2. ~max_threshold:20. ()
+  in
+  let st = Queue_discipline.init d in
+  let rng = rng () in
+  let drops = ref 0 in
+  for _ = 1 to 1000 do
+    if not (Queue_discipline.admit d st ~rng ~queue_length:11) then incr drops
+  done;
+  Alcotest.(check bool) "some but not all dropped" true
+    (!drops > 50 && !drops < 950)
+
+let test_red_average_tracks () =
+  let d =
+    Queue_discipline.red ~weight:0.5 ~capacity:10 ~min_threshold:2.
+      ~max_threshold:8. ()
+  in
+  let st = Queue_discipline.init d in
+  let rng = rng () in
+  ignore (Queue_discipline.admit d st ~rng ~queue_length:4);
+  check_float "avg after one sample" 2. (Queue_discipline.average_queue st)
+
+let test_red_validation () =
+  Alcotest.check_raises "bad thresholds"
+    (Invalid_argument "Queue_discipline.red: need 0 <= min_th < max_th")
+    (fun () ->
+      ignore
+        (Queue_discipline.red ~capacity:10 ~min_threshold:5. ~max_threshold:5. ()))
+
+(* --- Link ------------------------------------------------------------------------ *)
+
+let test_link_latency () =
+  (* 1000-byte packet at 10 kB/s + 0.1 s propagation = 0.2 s. *)
+  let sim = Sim.create () in
+  let arrived = ref 0. in
+  let link =
+    Link.create ~sim ~rng:(rng ()) ~bandwidth:10_000. ~delay:0.1
+      ~deliver:(fun () -> arrived := Sim.now sim)
+      ()
+  in
+  Alcotest.(check bool) "accepted" true (Link.send link ~size:1000 ());
+  Sim.run sim;
+  check_float "serialization + propagation" 0.2 !arrived
+
+let test_link_fifo () =
+  let sim = Sim.create () in
+  let out = ref [] in
+  let link =
+    Link.create ~sim ~rng:(rng ()) ~bandwidth:1000. ~delay:0.01
+      ~deliver:(fun i -> out := i :: !out)
+      ()
+  in
+  for i = 1 to 5 do
+    ignore (Link.send link ~size:100 i)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO delivery" [ 1; 2; 3; 4; 5 ] (List.rev !out)
+
+let test_link_queue_overflow () =
+  let sim = Sim.create () in
+  let delivered = ref 0 in
+  let link =
+    Link.create
+      ~discipline:(Queue_discipline.drop_tail ~capacity:2)
+      ~sim ~rng:(rng ()) ~bandwidth:1000. ~delay:0.
+      ~deliver:(fun () -> incr delivered)
+      ()
+  in
+  let accepted = ref 0 in
+  for _ = 1 to 10 do
+    if Link.send link ~size:100 () then incr accepted
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "accepted = delivered" !accepted !delivered;
+  let stats = Link.stats link in
+  Alcotest.(check int) "offered" 10 stats.Link.offered;
+  Alcotest.(check int) "drops accounted" 10
+    (stats.Link.delivered + stats.Link.dropped_queue);
+  Alcotest.(check bool) "some dropped" true (stats.Link.dropped_queue > 0)
+
+let test_link_serialization_spacing () =
+  (* Packets leave one serialization time apart. *)
+  let sim = Sim.create () in
+  let times = ref [] in
+  let link =
+    Link.create ~sim ~rng:(rng ()) ~bandwidth:1000. ~delay:0.
+      ~deliver:(fun () -> times := Sim.now sim :: !times)
+      ()
+  in
+  ignore (Link.send link ~size:100 ());
+  ignore (Link.send link ~size:100 ());
+  Sim.run sim;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      check_float "first at 0.1" 0.1 t1;
+      check_float "second at 0.2" 0.2 t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_link_random_loss () =
+  let sim = Sim.create () in
+  let delivered = ref 0 in
+  let link =
+    Link.create
+      ~random_loss:(fun () -> true)
+      ~sim ~rng:(rng ()) ~bandwidth:1000. ~delay:0.
+      ~deliver:(fun () -> incr delivered)
+      ()
+  in
+  Alcotest.(check bool) "rejected" false (Link.send link ~size:100 ());
+  Sim.run sim;
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "counted as random drop" 1
+    (Link.stats link).Link.dropped_random
+
+let test_link_busy_time () =
+  let sim = Sim.create () in
+  let link =
+    Link.create ~sim ~rng:(rng ()) ~bandwidth:1000. ~delay:0.5 ~deliver:ignore ()
+  in
+  ignore (Link.send link ~size:300 ());
+  Sim.run sim;
+  check_float "busy time" 0.3 (Link.busy_time link)
+
+let test_link_bytes_delivered () =
+  let sim = Sim.create () in
+  let link =
+    Link.create ~sim ~rng:(rng ()) ~bandwidth:1e6 ~delay:0. ~deliver:ignore ()
+  in
+  ignore (Link.send link ~size:100 ());
+  ignore (Link.send link ~size:200 ());
+  Sim.run sim;
+  Alcotest.(check int) "bytes" 300 (Link.stats link).Link.bytes_delivered
+
+let test_link_max_queue () =
+  let sim = Sim.create () in
+  let link =
+    Link.create ~sim ~rng:(rng ()) ~bandwidth:1000. ~delay:0. ~deliver:ignore ()
+  in
+  for _ = 1 to 5 do
+    ignore (Link.send link ~size:100 ())
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "high-water mark" 5 (Link.stats link).Link.max_queue
+
+let test_link_validation () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Link.create: bandwidth must be positive") (fun () ->
+      ignore
+        (Link.create ~sim ~rng:(rng ()) ~bandwidth:0. ~delay:0. ~deliver:ignore ()))
+
+(* --- Cross traffic ------------------------------------------------------------------ *)
+
+module Cross_traffic = Pftk_netsim.Cross_traffic
+
+let test_cross_traffic_mean_rate () =
+  (* Long-run emission matches rate * duty cycle. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let config =
+    { Cross_traffic.default with Cross_traffic.rate = 100.; mean_on = 1.; mean_off = 3. }
+  in
+  let source =
+    Cross_traffic.start ~config ~sim ~rng:(rng ()) ~send:(fun ~size ->
+        ignore size;
+        incr count)
+      ()
+  in
+  Sim.run ~until:4000. sim;
+  let measured = float_of_int !count /. 4000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 10%% of %g (got %g)" (Cross_traffic.mean_rate config) measured)
+    true
+    (Float.abs (measured -. Cross_traffic.mean_rate config)
+     /. Cross_traffic.mean_rate config
+    < 0.1);
+  Alcotest.(check int) "counter agrees" !count (Cross_traffic.packets_sent source)
+
+let test_cross_traffic_bursty () =
+  (* During ON the instantaneous rate far exceeds the long-run mean:
+     count packets in 100-ms slots and look at the busiest slot. *)
+  let sim = Sim.create () in
+  let slots = Array.make 2000 0 in
+  let config =
+    { Cross_traffic.default with Cross_traffic.rate = 500.; mean_on = 0.5; mean_off = 4.5 }
+  in
+  ignore
+    (Cross_traffic.start ~config ~sim ~rng:(rng ()) ~send:(fun ~size ->
+         ignore size;
+         let slot = int_of_float (Sim.now sim /. 0.1) in
+         if slot < 2000 then slots.(slot) <- slots.(slot) + 1)
+       ());
+  Sim.run ~until:200. sim;
+  let busiest = Array.fold_left max 0 slots in
+  (* 500 pkt/s = ~50 per busy slot; long-run mean = 50 pkt/s = 5 per slot. *)
+  Alcotest.(check bool) "bursts visible" true (busiest > 25)
+
+let test_cross_traffic_pareto_heavy_tail () =
+  let config =
+    { Cross_traffic.default with Cross_traffic.pareto_shape = Some 1.2 }
+  in
+  (* Just exercise the sampler for crashes/NaNs over a long run. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  ignore
+    (Cross_traffic.start ~config ~sim ~rng:(rng ()) ~send:(fun ~size ->
+         ignore size;
+         incr count)
+       ());
+  Sim.run ~until:500. sim;
+  Alcotest.(check bool) "emitted packets" true (!count > 100)
+
+let test_cross_traffic_validation () =
+  Alcotest.check_raises "bad shape"
+    (Invalid_argument "Cross_traffic: pareto shape must exceed 1") (fun () ->
+      ignore
+        (Cross_traffic.start
+           ~config:{ Cross_traffic.default with Cross_traffic.pareto_shape = Some 1. }
+           ~sim:(Sim.create ()) ~rng:(rng ()) ~send:(fun ~size -> ignore size)
+           ()))
+
+(* --- Path ------------------------------------------------------------------------- *)
+
+let test_path_roundtrip () =
+  let sim = Sim.create () in
+  let got_data = ref false and got_ack = ref false in
+  let path =
+    Path.symmetric ~sim ~rng:(rng ()) ~bandwidth:1e6 ~one_way_delay:0.05
+      ~deliver_data:(fun () -> got_data := true)
+      ~deliver_ack:(fun () -> got_ack := true)
+      ()
+  in
+  ignore (Link.send path.Path.forward ~size:100 ());
+  ignore (Link.send path.Path.reverse ~size:40 ());
+  Sim.run sim;
+  Alcotest.(check bool) "data" true !got_data;
+  Alcotest.(check bool) "ack" true !got_ack;
+  check_float "base rtt" 0.1 (Path.base_rtt path)
+
+let test_path_asymmetric () =
+  let sim = Sim.create () in
+  let path =
+    Path.create ~sim ~rng:(rng ()) ~forward_bandwidth:1e6 ~reverse_bandwidth:1e4
+      ~forward_delay:0.01 ~reverse_delay:0.2 ~deliver_data:ignore
+      ~deliver_ack:ignore ()
+  in
+  check_float "asymmetric base rtt" 0.21 (Path.base_rtt path)
+
+let () =
+  Alcotest.run "pftk_netsim"
+    [
+      ( "sim",
+        [
+          case "event ordering" test_sim_ordering;
+          case "FIFO tie-break" test_sim_fifo_ties;
+          case "clock advances" test_sim_clock_advances;
+          case "nested scheduling" test_sim_nested_scheduling;
+          case "cancel" test_sim_cancel;
+          case "run until" test_sim_run_until;
+          case "step" test_sim_step;
+          case "pending" test_sim_pending;
+          case "past raises" test_sim_past_raises;
+          case "cancelled head at horizon" test_sim_run_until_skips_cancelled_head;
+          case "heap stress" test_sim_many_events;
+        ] );
+      ( "queue-discipline",
+        [
+          case "drop tail" test_drop_tail;
+          case "RED below min" test_red_below_min;
+          case "RED above max" test_red_above_max;
+          case "RED gentle region" test_red_gentle_region_drops_sometimes;
+          case "RED average" test_red_average_tracks;
+          case "RED validation" test_red_validation;
+        ] );
+      ( "link",
+        [
+          case "latency" test_link_latency;
+          case "FIFO" test_link_fifo;
+          case "queue overflow" test_link_queue_overflow;
+          case "serialization spacing" test_link_serialization_spacing;
+          case "random loss hook" test_link_random_loss;
+          case "busy time" test_link_busy_time;
+          case "bytes delivered" test_link_bytes_delivered;
+          case "max queue" test_link_max_queue;
+          case "validation" test_link_validation;
+        ] );
+      ( "cross-traffic",
+        [
+          case "mean rate" test_cross_traffic_mean_rate;
+          case "burstiness" test_cross_traffic_bursty;
+          case "pareto tail" test_cross_traffic_pareto_heavy_tail;
+          case "validation" test_cross_traffic_validation;
+        ] );
+      ( "path",
+        [
+          case "roundtrip" test_path_roundtrip;
+          case "asymmetric" test_path_asymmetric;
+        ] );
+    ]

@@ -1,0 +1,489 @@
+(* Tests for pftk_stats: RNG, descriptive statistics, correlation,
+   histograms, regression, error metrics, online accumulators. *)
+
+open Pftk_stats
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* --- Rng ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:1L () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create ~seed:3L () in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.float rng
+  done;
+  check_float ~eps:0.01 "uniform mean" 0.5 (!total /. float_of_int n)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:4L () in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_rng_int_uniformity () =
+  let rng = Rng.create ~seed:5L () in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 5 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_float ~eps:0.02 "each bucket ~1/5" 0.2
+        (float_of_int c /. float_of_int n))
+    counts
+
+let test_rng_bernoulli () =
+  let rng = Rng.create ~seed:6L () in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_float ~eps:0.01 "bernoulli(0.3) frequency" 0.3
+    (float_of_int !hits /. float_of_int n)
+
+let test_rng_bernoulli_edges () =
+  let rng = Rng.create () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:7L () in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng 2.5
+  done;
+  check_float ~eps:0.1 "exponential mean" 2.5 (!total /. float_of_int n)
+
+let test_rng_geometric_mean () =
+  let rng = Rng.create ~seed:8L () in
+  let n = 50_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Rng.geometric rng 0.25
+  done;
+  check_float ~eps:0.1 "geometric mean 1/p" 4.
+    (float_of_int !total /. float_of_int n)
+
+let test_rng_geometric_support () =
+  let rng = Rng.create ~seed:9L () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "k >= 1" true (Rng.geometric rng 0.9 >= 1)
+  done;
+  Alcotest.(check int) "p=1 gives 1" 1 (Rng.geometric rng 1.)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create ~seed:10L () in
+  let n = 50_000 in
+  let samples = Array.init n (fun _ -> Rng.normal rng ~mean:3. ~std:2.) in
+  check_float ~eps:0.05 "normal mean" 3. (Descriptive.mean samples);
+  check_float ~eps:0.05 "normal std" 2. (Descriptive.std samples)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:11L () in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:12L () in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "streams differ" false
+    (Rng.bits64 parent = Rng.bits64 child)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:13L () in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+(* --- Descriptive ----------------------------------------------------------- *)
+
+let test_mean () = check_float "mean" 2.5 (Descriptive.mean [| 1.; 2.; 3.; 4. |])
+
+let test_mean_list () =
+  check_float "mean_list" 2. (Descriptive.mean_list [ 1.; 2.; 3. ])
+
+let test_variance () =
+  check_float "sample variance" (14. /. 3.)
+    (Descriptive.variance [| 1.; 2.; 3.; 6. |]);
+  check_float "singleton variance" 0. (Descriptive.variance [| 5. |])
+
+let test_population_variance () =
+  check_float "population variance" 3.5
+    (Descriptive.population_variance [| 1.; 2.; 3.; 6. |])
+
+let test_std () =
+  check_float "std" (sqrt 1.2) (Descriptive.std [| 1.; 3.; 1.; 3.; 1.; 3. |])
+
+let test_min_max_sum () =
+  let a = [| 3.; -1.; 4.; 1.5 |] in
+  check_float "min" (-1.) (Descriptive.min a);
+  check_float "max" 4. (Descriptive.max a);
+  check_float "sum" 7.5 (Descriptive.sum a)
+
+let test_median_odd () =
+  check_float "odd median" 3. (Descriptive.median [| 5.; 3.; 1. |])
+
+let test_median_even () =
+  check_float "even median" 2.5 (Descriptive.median [| 4.; 1.; 2.; 3. |])
+
+let test_quantile () =
+  let a = [| 10.; 20.; 30.; 40. |] in
+  check_float "q0" 10. (Descriptive.quantile a 0.);
+  check_float "q1" 40. (Descriptive.quantile a 1.);
+  check_float "q0.5 interpolates" 25. (Descriptive.quantile a 0.5)
+
+let test_quantile_monotone () =
+  let a = [| 2.; 7.; 1.; 9.; 4.; 4.; 8. |] in
+  let prev = ref neg_infinity in
+  List.iter
+    (fun q ->
+      let v = Descriptive.quantile a q in
+      Alcotest.(check bool) "quantile monotone" true (v >= !prev);
+      prev := v)
+    [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 1. ]
+
+let test_geometric_mean () =
+  check_float "geometric mean" 4. (Descriptive.geometric_mean [| 2.; 8. |])
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean of empty"
+    (Invalid_argument "Descriptive.mean: empty input") (fun () ->
+      ignore (Descriptive.mean [||]))
+
+let test_summarize () =
+  let s = Descriptive.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check int) "n" 5 s.Descriptive.n;
+  check_float "mean" 3. s.Descriptive.mean;
+  check_float "median" 3. s.Descriptive.median;
+  check_float "min" 1. s.Descriptive.min;
+  check_float "max" 5. s.Descriptive.max
+
+(* --- Correlation ------------------------------------------------------------ *)
+
+let test_pearson_perfect () =
+  let x = [| 1.; 2.; 3.; 4. |] in
+  let y = Array.map (fun v -> (2. *. v) +. 1.) x in
+  check_float "perfect positive" 1. (Correlation.pearson x y);
+  let z = Array.map (fun v -> -.v) x in
+  check_float "perfect negative" (-1.) (Correlation.pearson x z)
+
+let test_pearson_zero_variance () =
+  check_float "flat input" 0.
+    (Correlation.pearson [| 1.; 1.; 1. |] [| 1.; 2.; 3. |])
+
+let test_covariance () =
+  (* x deviations [-1.5,-0.5,0.5,1.5], y = 2x: sum of products 10, n-1 = 3. *)
+  check_float "covariance" (10. /. 3.)
+    (Correlation.covariance [| 1.; 2.; 3.; 4. |] [| 2.; 4.; 6.; 8. |])
+
+let test_spearman_monotone () =
+  let x = [| 1.; 2.; 3.; 4.; 5. |] in
+  let y = Array.map (fun v -> v ** 3.) x in
+  check_float "monotone nonlinear" 1. (Correlation.spearman x y)
+
+let test_spearman_ties () =
+  let x = [| 1.; 1.; 2.; 2. |] and y = [| 1.; 1.; 2.; 2. |] in
+  check_float "ties handled" 1. (Correlation.spearman x y)
+
+let test_autocorrelation () =
+  (* Alternating series has strong negative lag-1 autocorrelation. *)
+  let a = Array.init 100 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  check_float ~eps:0.05 "alternating lag-1" (-1.) (Correlation.autocorrelation a 1)
+
+let test_correlation_errors () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Correlation.pearson: length mismatch") (fun () ->
+      ignore (Correlation.pearson [| 1.; 2. |] [| 1. |]))
+
+(* --- Histogram --------------------------------------------------------------- *)
+
+let test_histogram_linear () =
+  let h = Histogram.create_linear ~lo:0. ~hi:10. ~bins:5 in
+  Histogram.add_all h [| 1.; 3.; 5.; 7.; 9.; 9.9 |];
+  Alcotest.(check (array int)) "counts" [| 1; 1; 1; 1; 2 |] (Histogram.counts h);
+  Alcotest.(check int) "total" 6 (Histogram.total h)
+
+let test_histogram_out_of_range () =
+  let h = Histogram.create_linear ~lo:0. ~hi:1. ~bins:2 in
+  Histogram.add h (-0.5);
+  Histogram.add h 1.5;
+  Histogram.add h 1.0;
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow (incl. hi edge)" 2 (Histogram.overflow h)
+
+let test_histogram_log () =
+  let h = Histogram.create_log ~lo:1e-4 ~hi:1. ~bins:4 in
+  Histogram.add_all h [| 2e-4; 2e-3; 2e-2; 0.2 |];
+  Alcotest.(check (array int)) "one per decade" [| 1; 1; 1; 1 |]
+    (Histogram.counts h);
+  check_float ~eps:1e-9 "log bin center is geometric" (10. ** -2.5)
+    (Histogram.bin_center h 1)
+
+let test_histogram_normalized () =
+  let h = Histogram.create_linear ~lo:0. ~hi:4. ~bins:4 in
+  Histogram.add_all h [| 0.5; 1.5; 1.6; 3.5 |];
+  let n = Histogram.normalized h in
+  check_float "normalized sums to 1" 1. (Array.fold_left ( +. ) 0. n);
+  check_float "bin share" 0.5 n.(1)
+
+let test_histogram_edges () =
+  let h = Histogram.create_linear ~lo:0. ~hi:10. ~bins:2 in
+  Alcotest.(check (array (float 1e-9))) "edges" [| 0.; 5.; 10. |]
+    (Histogram.bin_edges h)
+
+(* --- Regression ---------------------------------------------------------------- *)
+
+let test_linear_fit_exact () =
+  let x = [| 0.; 1.; 2.; 3. |] in
+  let y = Array.map (fun v -> (3. *. v) -. 1. ) x in
+  let fit = Regression.linear_fit x y in
+  check_float "slope" 3. fit.Regression.slope;
+  check_float "intercept" (-1.) fit.Regression.intercept;
+  check_float "r2" 1. fit.Regression.r_squared
+
+let test_log_log_power_law () =
+  let x = [| 1.; 2.; 4.; 8.; 16. |] in
+  let y = Array.map (fun v -> 5. *. (v ** -0.5)) x in
+  let fit = Regression.log_log_fit x y in
+  check_float ~eps:1e-9 "power-law slope" (-0.5) fit.Regression.slope
+
+let test_predict () =
+  let fit = { Regression.slope = 2.; intercept = 1.; r_squared = 1. } in
+  check_float "predict" 7. (Regression.predict fit 3.)
+
+let test_regression_errors () =
+  Alcotest.check_raises "zero x variance"
+    (Invalid_argument "Regression.linear_fit: x has zero variance") (fun () ->
+      ignore (Regression.linear_fit [| 1.; 1. |] [| 1.; 2. |]))
+
+(* --- Error metrics ---------------------------------------------------------------- *)
+
+let test_average_error () =
+  check_float "average error" 0.25
+    (Error_metrics.average_error ~predicted:[| 5.; 15. |] ~observed:[| 4.; 20. |])
+
+let test_average_error_skips_zero () =
+  check_float "skips zero observations" 0.5
+    (Error_metrics.average_error ~predicted:[| 3.; 99. |] ~observed:[| 2.; 0. |])
+
+let test_mean_signed_error () =
+  Alcotest.(check bool) "overestimate is positive" true
+    (Error_metrics.mean_signed_error ~predicted:[| 10. |] ~observed:[| 5. |] > 0.);
+  Alcotest.(check bool) "underestimate is negative" true
+    (Error_metrics.mean_signed_error ~predicted:[| 2. |] ~observed:[| 5. |] < 0.)
+
+let test_rmse () =
+  (* errors 3 and 4: sqrt((9 + 16) / 2). *)
+  check_float "rmse" (sqrt 12.5)
+    (Error_metrics.rmse ~predicted:[| 3.; 11. |] ~observed:[| 0.; 7. |])
+
+let test_max_relative_error () =
+  check_float "max relative" 1.
+    (Error_metrics.max_relative_error ~predicted:[| 2.; 1.1 |] ~observed:[| 1.; 1. |])
+
+let test_error_metrics_errors () =
+  Alcotest.check_raises "no usable observations"
+    (Invalid_argument "Error_metrics.average_error: no usable observations")
+    (fun () ->
+      ignore (Error_metrics.average_error ~predicted:[| 1. |] ~observed:[| 0. |]))
+
+(* --- Running ---------------------------------------------------------------------- *)
+
+let test_running_matches_descriptive () =
+  let data = [| 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6. |] in
+  let r = Running.create () in
+  Array.iter (Running.add r) data;
+  Alcotest.(check int) "count" 8 (Running.count r);
+  check_float "mean" (Descriptive.mean data) (Running.mean r);
+  check_float ~eps:1e-9 "variance" (Descriptive.variance data) (Running.variance r);
+  check_float "min" 1. (Running.min r);
+  check_float "max" 9. (Running.max r);
+  check_float "total" (Descriptive.sum data) (Running.total r)
+
+let test_running_empty () =
+  let r = Running.create () in
+  check_float "empty mean" 0. (Running.mean r);
+  check_float "empty variance" 0. (Running.variance r)
+
+let test_running_merge () =
+  let data = Array.init 20 (fun i -> float_of_int (i * i) /. 7.) in
+  let left = Running.create () and right = Running.create () in
+  Array.iteri (fun i x -> Running.add (if i < 9 then left else right) x) data;
+  let merged = Running.merge left right in
+  check_float ~eps:1e-9 "merged mean" (Descriptive.mean data) (Running.mean merged);
+  check_float ~eps:1e-9 "merged variance" (Descriptive.variance data)
+    (Running.variance merged);
+  Alcotest.(check int) "merged count" 20 (Running.count merged)
+
+let test_running_merge_empty () =
+  let r = Running.create () in
+  Running.add r 5.;
+  let merged = Running.merge (Running.create ()) r in
+  check_float "merge with empty" 5. (Running.mean merged)
+
+(* --- Property tests ------------------------------------------------------------------- *)
+
+let nonempty_floats =
+  QCheck.(array_of_size Gen.(int_range 1 40) (float_bound_inclusive 1000.))
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean within [min, max]" ~count:200 nonempty_floats
+    (fun a ->
+      let m = Descriptive.mean a in
+      m >= Descriptive.min a -. 1e-9 && m <= Descriptive.max a +. 1e-9)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance nonnegative" ~count:200 nonempty_floats
+    (fun a -> Descriptive.variance a >= -1e-9)
+
+let pair_arrays =
+  QCheck.(
+    map
+      (fun l ->
+        let a = Array.of_list (List.map fst l) in
+        let b = Array.of_list (List.map snd l) in
+        (a, b))
+      (list_of_size Gen.(int_range 2 40)
+         (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.))))
+
+let prop_pearson_bounded =
+  QCheck.Test.make ~name:"pearson in [-1, 1]" ~count:200 pair_arrays
+    (fun (x, y) ->
+      let r = Correlation.pearson x y in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let prop_self_correlation =
+  QCheck.Test.make ~name:"pearson(x, x) is 1 (nonconstant x)" ~count:200
+    nonempty_floats (fun a ->
+      QCheck.assume (Array.length a >= 2 && Descriptive.std a > 0.);
+      Float.abs (Correlation.pearson a a -. 1.) < 1e-6)
+
+let prop_running_online =
+  QCheck.Test.make ~name:"running matches batch" ~count:200 nonempty_floats
+    (fun a ->
+      let r = Running.create () in
+      Array.iter (Running.add r) a;
+      Float.abs (Running.mean r -. Descriptive.mean a) < 1e-6)
+
+let props = List.map QCheck_alcotest.to_alcotest
+  [
+    prop_mean_bounded;
+    prop_variance_nonneg;
+    prop_pearson_bounded;
+    prop_self_correlation;
+    prop_running_online;
+  ]
+
+let () =
+  Alcotest.run "pftk_stats"
+    [
+      ( "rng",
+        [
+          case "deterministic streams" test_rng_deterministic;
+          case "seed sensitivity" test_rng_seed_sensitivity;
+          case "float in [0,1)" test_rng_float_range;
+          case "uniform mean" test_rng_float_mean;
+          case "int bounds" test_rng_int_bounds;
+          case "int uniformity" test_rng_int_uniformity;
+          case "bernoulli frequency" test_rng_bernoulli;
+          case "bernoulli edges" test_rng_bernoulli_edges;
+          case "exponential mean" test_rng_exponential_mean;
+          case "geometric mean" test_rng_geometric_mean;
+          case "geometric support" test_rng_geometric_support;
+          case "normal moments" test_rng_normal_moments;
+          case "shuffle is a permutation" test_rng_shuffle_permutation;
+          case "split independence" test_rng_split_independent;
+          case "copy" test_rng_copy;
+        ] );
+      ( "descriptive",
+        [
+          case "mean" test_mean;
+          case "mean_list" test_mean_list;
+          case "variance" test_variance;
+          case "population variance" test_population_variance;
+          case "std" test_std;
+          case "min/max/sum" test_min_max_sum;
+          case "median odd" test_median_odd;
+          case "median even" test_median_even;
+          case "quantile" test_quantile;
+          case "quantile monotone" test_quantile_monotone;
+          case "geometric mean" test_geometric_mean;
+          case "empty raises" test_empty_raises;
+          case "summarize" test_summarize;
+        ] );
+      ( "correlation",
+        [
+          case "pearson perfect" test_pearson_perfect;
+          case "pearson zero variance" test_pearson_zero_variance;
+          case "covariance" test_covariance;
+          case "spearman monotone" test_spearman_monotone;
+          case "spearman ties" test_spearman_ties;
+          case "autocorrelation" test_autocorrelation;
+          case "errors" test_correlation_errors;
+        ] );
+      ( "histogram",
+        [
+          case "linear counts" test_histogram_linear;
+          case "under/overflow" test_histogram_out_of_range;
+          case "log bins" test_histogram_log;
+          case "normalized" test_histogram_normalized;
+          case "edges" test_histogram_edges;
+        ] );
+      ( "regression",
+        [
+          case "exact line" test_linear_fit_exact;
+          case "power law on log-log" test_log_log_power_law;
+          case "predict" test_predict;
+          case "errors" test_regression_errors;
+        ] );
+      ( "error-metrics",
+        [
+          case "average error" test_average_error;
+          case "skips zero observed" test_average_error_skips_zero;
+          case "signed error" test_mean_signed_error;
+          case "rmse" test_rmse;
+          case "max relative" test_max_relative_error;
+          case "errors" test_error_metrics_errors;
+        ] );
+      ( "running",
+        [
+          case "matches descriptive" test_running_matches_descriptive;
+          case "empty defaults" test_running_empty;
+          case "merge" test_running_merge;
+          case "merge with empty" test_running_merge_empty;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,448 @@
+(* Tests for pftk_trace: the recorder, the ground-truth and inference
+   analyzers (including cross-validation on a real packet-level trace), the
+   Karn RTT matcher, and interval binning. *)
+
+module Recorder = Pftk_trace.Recorder
+module Event = Pftk_trace.Event
+module Analyzer = Pftk_trace.Analyzer
+module Intervals = Pftk_trace.Intervals
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let send ?(rexmit = false) seq =
+  Event.Segment_sent { seq; retransmission = rexmit; cwnd = 10.; flight = 5 }
+
+let ack n = Event.Ack_received { ack = n }
+
+let recorder_of events =
+  let r = Recorder.create () in
+  List.iter (fun (time, kind) -> Recorder.record r ~time kind) events;
+  r
+
+(* --- Recorder -------------------------------------------------------------- *)
+
+let test_recorder_basic () =
+  let r = recorder_of [ (0., send 0); (0.1, ack 1); (0.2, send 1) ] in
+  Alcotest.(check int) "length" 3 (Recorder.length r);
+  Alcotest.(check int) "packets sent" 2 (Recorder.packets_sent r);
+  check_float "duration" 0.2 (Recorder.duration r)
+
+let test_recorder_time_monotonic () =
+  let r = Recorder.create () in
+  Recorder.record r ~time:1. (send 0);
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Recorder.record: time went backwards") (fun () ->
+      Recorder.record r ~time:0.5 (send 1))
+
+let test_recorder_between () =
+  let r =
+    recorder_of [ (0., send 0); (1., send 1); (2., send 2); (3., send 3) ]
+  in
+  let slice = Recorder.between r ~start:1. ~stop:3. in
+  Alcotest.(check int) "half-open window" 2 (Array.length slice)
+
+let test_recorder_growth () =
+  (* Exceed the initial buffer to exercise resizing. *)
+  let r = Recorder.create () in
+  for i = 0 to 4999 do
+    Recorder.record r ~time:(float_of_int i) (send i)
+  done;
+  Alcotest.(check int) "5000 events" 5000 (Recorder.length r);
+  Alcotest.(check int) "all sends" 5000 (Recorder.packets_sent r)
+
+let test_recorder_fold_iter () =
+  let r = recorder_of [ (0., send 0); (1., ack 1) ] in
+  let count = Recorder.fold (fun n _ -> n + 1) 0 r in
+  Alcotest.(check int) "fold visits all" 2 count
+
+(* --- Ground-truth analyzer ---------------------------------------------------- *)
+
+let test_ground_truth_td () =
+  let r =
+    recorder_of
+      [
+        (0., send 0);
+        (1., Event.Fast_retransmit_triggered { seq = 0 });
+        (2., Event.Fast_retransmit_triggered { seq = 5 });
+      ]
+  in
+  match Analyzer.ground_truth_indications (Recorder.events r) with
+  | [ Analyzer.Td { at = 1. }; Analyzer.Td { at = 2. } ] -> ()
+  | other -> Alcotest.failf "expected two TDs, got %d" (List.length other)
+
+let test_ground_truth_to_sequence () =
+  (* Three timer firings with increasing backoff = one sequence of 3. *)
+  let r =
+    recorder_of
+      [
+        (0., send 0);
+        (1., Event.Timer_fired { backoff = 1; rto = 2. });
+        (3., Event.Timer_fired { backoff = 2; rto = 4. });
+        (7., Event.Timer_fired { backoff = 3; rto = 8. });
+      ]
+  in
+  match Analyzer.ground_truth_indications (Recorder.events r) with
+  | [ Analyzer.To { at = 1.; timeouts = 3; first_timer = 2. } ] -> ()
+  | other -> Alcotest.failf "expected one sequence of 3, got %d" (List.length other)
+
+let test_ground_truth_two_sequences () =
+  (* A backoff reset (fresh backoff = 1) starts a new sequence. *)
+  let r =
+    recorder_of
+      [
+        (1., Event.Timer_fired { backoff = 1; rto = 2. });
+        (3., Event.Timer_fired { backoff = 2; rto = 4. });
+        (10., Event.Timer_fired { backoff = 1; rto = 2. });
+      ]
+  in
+  match Analyzer.ground_truth_indications (Recorder.events r) with
+  | [ Analyzer.To { timeouts = 2; _ }; Analyzer.To { timeouts = 1; _ } ] -> ()
+  | other -> Alcotest.failf "expected [2;1], got %d items" (List.length other)
+
+let test_ground_truth_td_closes_sequence () =
+  let r =
+    recorder_of
+      [
+        (1., Event.Timer_fired { backoff = 1; rto = 2. });
+        (5., Event.Fast_retransmit_triggered { seq = 3 });
+      ]
+  in
+  match Analyzer.ground_truth_indications (Recorder.events r) with
+  | [ Analyzer.To { timeouts = 1; _ }; Analyzer.Td _ ] -> ()
+  | other -> Alcotest.failf "expected TO then TD, got %d items" (List.length other)
+
+(* --- Inference analyzer --------------------------------------------------------- *)
+
+let test_infer_td () =
+  (* Three duplicate ACKs for 5, then a retransmission of 5: a TD. *)
+  let events =
+    [
+      (0.0, send 5);
+      (0.1, ack 5);
+      (0.2, ack 5);
+      (0.3, ack 5);
+      (0.35, ack 5);
+      (0.4, send ~rexmit:true 5);
+    ]
+  in
+  (* First ack sets the baseline; three more make three duplicates. *)
+  match Analyzer.infer_indications (Recorder.events (recorder_of events)) with
+  | [ Analyzer.Td { at = 0.4 } ] -> ()
+  | other -> Alcotest.failf "expected one TD, got %d items" (List.length other)
+
+let test_infer_timeout () =
+  (* A retransmission after a long idle gap is a timeout. *)
+  let events = [ (0.0, send 7); (0.1, ack 7); (2.0, send ~rexmit:true 7) ] in
+  match Analyzer.infer_indications (Recorder.events (recorder_of events)) with
+  | [ Analyzer.To { timeouts = 1; first_timer; _ } ] ->
+      check_float "gap measured" 1.9 first_timer
+  | other -> Alcotest.failf "expected one TO, got %d items" (List.length other)
+
+let test_infer_backoff_chain () =
+  (* Repeated gap-separated retransmissions without progress chain into one
+     sequence; an advancing ACK closes it. *)
+  let events =
+    [
+      (0.0, send 3);
+      (0.1, ack 3);
+      (2.0, send ~rexmit:true 3);
+      (6.0, send ~rexmit:true 3);
+      (14.0, send ~rexmit:true 3);
+      (14.2, ack 9);
+    ]
+  in
+  match Analyzer.infer_indications (Recorder.events (recorder_of events)) with
+  | [ Analyzer.To { timeouts = 3; _ } ] -> ()
+  | other -> Alcotest.failf "expected a 3-timeout sequence, got %d items"
+      (List.length other)
+
+let test_infer_recovery_burst_not_counted () =
+  (* Back-to-back retransmissions right after a timeout (go-back-N burst)
+     are not extra timeouts. *)
+  let events =
+    [
+      (0.0, send 3);
+      (0.1, ack 3);
+      (2.0, send ~rexmit:true 3);
+      (2.01, send ~rexmit:true 4);
+      (2.02, send ~rexmit:true 5);
+    ]
+  in
+  match Analyzer.infer_indications (Recorder.events (recorder_of events)) with
+  | [ Analyzer.To { timeouts = 1; _ } ] -> ()
+  | other -> Alcotest.failf "expected a single TO, got %d items" (List.length other)
+
+let test_infer_new_data_resets_gap () =
+  (* Ordinary transmissions refresh the activity clock, so a retransmission
+     shortly after them is not mistaken for a timeout. *)
+  let events =
+    [
+      (0.0, send 3);
+      (1.9, send 4);
+      (2.0, send ~rexmit:true 3);
+    ]
+  in
+  Alcotest.(check int) "no indications" 0
+    (List.length
+       (Analyzer.infer_indications (Recorder.events (recorder_of events))))
+
+(* --- Karn RTT matching ------------------------------------------------------------ *)
+
+let test_karn_basic () =
+  let events = [ (0.0, send 0); (0.3, ack 1) ] in
+  Alcotest.(check (array (float 1e-9))) "one sample" [| 0.3 |]
+    (Analyzer.karn_rtt_samples (Recorder.events (recorder_of events)))
+
+let test_karn_skips_retransmitted () =
+  let events =
+    [
+      (0.0, send 0);
+      (1.0, send ~rexmit:true 0);
+      (1.3, ack 1);
+      (1.4, send 1);
+      (1.7, ack 2);
+    ]
+  in
+  (* Segment 0 was retransmitted: no sample.  Segment 1 is clean: 0.3 s. *)
+  Alcotest.(check (array (float 1e-9))) "karn's rule" [| 0.3 |]
+    (Analyzer.karn_rtt_samples (Recorder.events (recorder_of events)))
+
+let test_karn_cumulative_ack_covers_many () =
+  let events =
+    [ (0.0, send 0); (0.05, send 1); (0.1, send 2); (0.4, ack 3) ] in
+  (* All three clean segments are sampled from the single cumulative ACK. *)
+  Alcotest.(check int) "three samples" 3
+    (Array.length (Analyzer.karn_rtt_samples (Recorder.events (recorder_of events))))
+
+(* --- Summaries --------------------------------------------------------------------- *)
+
+let test_summarize_ground_truth () =
+  let r =
+    recorder_of
+      [
+        (0., send 0);
+        (0.1, send 1);
+        (0.2, Event.Rtt_sample { sample = 0.2; srtt = 0.2; rto = 1. });
+        (1., Event.Timer_fired { backoff = 1; rto = 2. });
+        (3., Event.Timer_fired { backoff = 2; rto = 4. });
+        (10., Event.Fast_retransmit_triggered { seq = 1 });
+        (10.5, send 2);
+      ]
+  in
+  let s = Analyzer.summarize r in
+  Alcotest.(check int) "packets" 3 s.Analyzer.packets_sent;
+  Alcotest.(check int) "indications" 2 s.Analyzer.loss_indications;
+  Alcotest.(check int) "one td" 1 s.Analyzer.td_count;
+  Alcotest.(check (array int)) "one double timeout" [| 0; 1; 0; 0; 0; 0 |]
+    s.Analyzer.to_by_backoff;
+  check_float "avg rtt from samples" 0.2 s.Analyzer.avg_rtt;
+  check_float "avg t0 from first timers" 2. s.Analyzer.avg_t0;
+  check_float ~eps:1e-6 "observed p" (2. /. 3.) s.Analyzer.observed_p
+
+let test_summarize_empty () =
+  let s = Analyzer.summarize (Recorder.create ()) in
+  Alcotest.(check int) "no packets" 0 s.Analyzer.packets_sent;
+  check_float "p zero" 0. s.Analyzer.observed_p
+
+let test_inference_matches_ground_truth_on_real_trace () =
+  (* Cross-validate the two analyzers on a packet-level Reno trace, the way
+     the paper validated its programs against tcptrace/ns. *)
+  let rng = Pftk_stats.Rng.create ~seed:21L () in
+  let scenario =
+    {
+      Pftk_tcp.Connection.default_scenario with
+      Pftk_tcp.Connection.data_loss =
+        Some (Pftk_loss.Loss_process.bernoulli rng ~p:0.02);
+    }
+  in
+  let result = Pftk_tcp.Connection.run ~seed:21L ~duration:600. scenario in
+  let truth = Analyzer.summarize ~mode:`Ground_truth result.Pftk_tcp.Connection.recorder in
+  let inferred = Analyzer.summarize ~mode:`Infer result.Pftk_tcp.Connection.recorder in
+  let rel a b = Float.abs (a -. b) /. Float.max 1. b in
+  Alcotest.(check bool) "indication count within 25%" true
+    (rel
+       (float_of_int inferred.Analyzer.loss_indications)
+       (float_of_int truth.Analyzer.loss_indications)
+    < 0.25);
+  Alcotest.(check bool) "td count within 25%" true
+    (rel (float_of_int inferred.Analyzer.td_count)
+       (float_of_int truth.Analyzer.td_count)
+    < 0.25);
+  Alcotest.(check bool) "rtt within 30%" true
+    (Float.abs (inferred.Analyzer.avg_rtt -. truth.Analyzer.avg_rtt)
+     /. truth.Analyzer.avg_rtt
+    < 0.3)
+
+(* --- Intervals ----------------------------------------------------------------------- *)
+
+let test_intervals_binning () =
+  let r =
+    recorder_of
+      [
+        (10., send 0);
+        (20., send 1);
+        (110., send 2);
+        (150., Event.Timer_fired { backoff = 1; rto = 2. });
+        (210., send 3);
+        (250., Event.Fast_retransmit_triggered { seq = 3 });
+        (305., send 4);
+      ]
+  in
+  let bins = Intervals.split ~width:100. r in
+  Alcotest.(check int) "three full bins" 3 (List.length bins);
+  let b0 = List.nth bins 0 and b1 = List.nth bins 1 and b2 = List.nth bins 2 in
+  Alcotest.(check int) "bin0 packets" 2 b0.Intervals.packets_sent;
+  Alcotest.(check bool) "bin0 quiet" true (b0.Intervals.classification = Intervals.Quiet);
+  Alcotest.(check int) "bin1 indications" 1 b1.Intervals.loss_indications;
+  Alcotest.(check bool) "bin1 is T0" true (b1.Intervals.classification = Intervals.T0);
+  Alcotest.(check bool) "bin2 is TD" true
+    (b2.Intervals.classification = Intervals.Td_only);
+  check_float "bin1 observed p" 1. b1.Intervals.observed_p
+
+let test_intervals_classification_ladder () =
+  let mk backoffs =
+    let time = ref 0. in
+    let events =
+      List.concat_map
+        (fun depth ->
+          List.init depth (fun i ->
+              time := !time +. 1.;
+              (!time, Event.Timer_fired { backoff = i + 1; rto = 2. })))
+        backoffs
+    in
+    (* A closing event past t = 100 completes the first bin. *)
+    let r = recorder_of (((0.1, send 0) :: events) @ [ (100.5, send 999) ]) in
+    (List.hd (Intervals.split ~width:100. r)).Intervals.classification
+  in
+  Alcotest.(check bool) "single timeout -> T0" true (mk [ 1 ] = Intervals.T0);
+  Alcotest.(check bool) "double timeout -> T1" true (mk [ 2 ] = Intervals.T1);
+  Alcotest.(check bool) "triple timeout -> T2+" true (mk [ 3 ] = Intervals.T2_plus);
+  Alcotest.(check bool) "deepest wins" true (mk [ 1; 3; 1 ] = Intervals.T2_plus)
+
+let test_intervals_validation () =
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Intervals.split: width must be positive") (fun () ->
+      ignore (Intervals.split ~width:0. (Recorder.create ())))
+
+let test_classification_labels () =
+  Alcotest.(check string) "TD" "TD" (Intervals.classification_label Intervals.Td_only);
+  Alcotest.(check string) "T2+" "T2+" (Intervals.classification_label Intervals.T2_plus)
+
+(* --- Timeline ------------------------------------------------------------------------ *)
+
+module Timeline = Pftk_trace.Timeline
+
+let test_timeline_sequence () =
+  let r =
+    recorder_of
+      [ (0., send 0); (1., send 1); (2., send ~rexmit:true 0); (3., send 2) ]
+  in
+  let firsts, rexmits = Timeline.sequence_numbers r in
+  Alcotest.(check int) "three first transmissions" 3 (List.length firsts);
+  Alcotest.(check int) "one retransmission" 1 (List.length rexmits);
+  match rexmits with
+  | [ { Timeline.time; value } ] ->
+      check_float "rexmit time" 2. time;
+      check_float "rexmit seq" 0. value
+  | _ -> Alcotest.fail "unexpected rexmit series"
+
+let test_timeline_ack_progress () =
+  let r = recorder_of [ (0., send 0); (0.5, ack 1); (1., ack 3) ] in
+  match Timeline.ack_progress r with
+  | [ a; b ] ->
+      check_float "first ack" 1. a.Timeline.value;
+      check_float "second ack" 3. b.Timeline.value
+  | _ -> Alcotest.fail "expected two points"
+
+let test_timeline_goodput () =
+  (* 4 sends in [0, 10), 2 in [10, 20): rates 0.4 and 0.2 pkt/s. *)
+  let r =
+    recorder_of
+      [
+        (1., send 0); (2., send 1); (3., send 2); (4., send 3);
+        (12., send 4); (13., send 5); (20.5, send 6);
+      ]
+  in
+  match Timeline.goodput ~window:10. r with
+  | [ a; b ] ->
+      check_float "bin 1 rate" 0.4 a.Timeline.value;
+      check_float "bin 2 rate" 0.2 b.Timeline.value
+  | pts -> Alcotest.failf "expected 2 bins, got %d" (List.length pts)
+
+let test_timeline_cwnd_and_rtt () =
+  let r =
+    recorder_of
+      [
+        (0., send 0);
+        (0.3, Event.Rtt_sample { sample = 0.3; srtt = 0.3; rto = 1. });
+      ]
+  in
+  Alcotest.(check int) "cwnd series" 1 (List.length (Timeline.congestion_window r));
+  match Timeline.rtt_series r with
+  | [ { Timeline.value; _ } ] -> check_float "rtt point" 0.3 value
+  | _ -> Alcotest.fail "expected one rtt point"
+
+let test_timeline_summary () =
+  let r = recorder_of [ (0., send 0); (5., send ~rexmit:true 0) ] in
+  let line = Timeline.summary_line r in
+  Alcotest.(check bool) "mentions retransmissions" true
+    (String.length line > 0)
+
+let () =
+  Alcotest.run "pftk_trace"
+    [
+      ( "recorder",
+        [
+          case "basic" test_recorder_basic;
+          case "monotonic time" test_recorder_time_monotonic;
+          case "between" test_recorder_between;
+          case "growth" test_recorder_growth;
+          case "fold/iter" test_recorder_fold_iter;
+        ] );
+      ( "ground-truth",
+        [
+          case "TDs" test_ground_truth_td;
+          case "TO sequence" test_ground_truth_to_sequence;
+          case "two sequences" test_ground_truth_two_sequences;
+          case "TD closes sequence" test_ground_truth_td_closes_sequence;
+        ] );
+      ( "inference",
+        [
+          case "TD from dup acks" test_infer_td;
+          case "TO from idle gap" test_infer_timeout;
+          case "backoff chain" test_infer_backoff_chain;
+          case "recovery burst ignored" test_infer_recovery_burst_not_counted;
+          case "activity resets gap" test_infer_new_data_resets_gap;
+        ] );
+      ( "karn",
+        [
+          case "basic sample" test_karn_basic;
+          case "skips retransmitted" test_karn_skips_retransmitted;
+          case "cumulative ack" test_karn_cumulative_ack_covers_many;
+        ] );
+      ( "summary",
+        [
+          case "ground truth" test_summarize_ground_truth;
+          case "empty trace" test_summarize_empty;
+          slow_case "inference vs ground truth" test_inference_matches_ground_truth_on_real_trace;
+        ] );
+      ( "timeline",
+        [
+          case "sequence numbers" test_timeline_sequence;
+          case "ack progress" test_timeline_ack_progress;
+          case "goodput bins" test_timeline_goodput;
+          case "cwnd and rtt" test_timeline_cwnd_and_rtt;
+          case "summary line" test_timeline_summary;
+        ] );
+      ( "intervals",
+        [
+          case "binning" test_intervals_binning;
+          case "classification ladder" test_intervals_classification_ladder;
+          case "validation" test_intervals_validation;
+          case "labels" test_classification_labels;
+        ] );
+    ]
