@@ -4,7 +4,12 @@
 
    Run with:  dune exec bench/main.exe            (full regeneration)
               dune exec bench/main.exe -- --quick (shorter workloads)
-              dune exec bench/main.exe -- --no-micro (skip Bechamel) *)
+              dune exec bench/main.exe -- --jobs 4 (worker domains)
+              dune exec bench/main.exe -- --no-micro (skip Bechamel)
+
+   Artifact output goes to stdout and is byte-identical for every --jobs
+   value; per-artifact wall-clock timings go to stderr and to
+   BENCH_results.json so the perf trajectory is tracked across PRs. *)
 
 open Pftk_core
 module Experiments = Pftk_experiments
@@ -13,50 +18,117 @@ let ppf = Format.std_formatter
 
 (* --- Part 1: regenerate every table and figure ---------------------------- *)
 
-let regenerate ~quick =
+let artifacts ~quick ~jobs =
   let seed = 2024L in
   let hour = if quick then 600. else 3600. in
   let count = if quick then 30 else 100 in
+  [
+    ("table1", fun () -> Experiments.Table1.print ppf);
+    ( "table2",
+      fun () ->
+        Experiments.Table2.(print ppf (generate ~seed ~duration:hour ~jobs ()))
+    );
+    ("fig-window", fun () -> Experiments.Fig_window.(print ppf (generate ~seed ())));
+    ( "fig7",
+      fun () ->
+        Experiments.Fig7.(print ppf (generate ~seed ~duration:hour ~jobs ())) );
+    ( "fig8",
+      fun () -> Experiments.Fig8.(print ppf (generate ~seed ~count ~jobs ())) );
+    ( "fig9",
+      fun () ->
+        Experiments.Fig9.(
+          print ppf ~title:"Fig. 9: Comparison of the models for 1-h traces"
+            (generate ~seed ~duration:hour ~jobs ())) );
+    ( "fig10",
+      fun () -> Experiments.Fig10.(print ppf (generate ~seed ~count ~jobs ())) );
+    ( "fig11",
+      fun () ->
+        Experiments.Fig11.(
+          print ppf
+            (generate ~seed
+               ~wide_duration:(if quick then 900. else 3600.)
+               ~modem_duration:(if quick then 1800. else 3600.)
+               ~jobs ())) );
+    ( "fig12",
+      fun () ->
+        Experiments.Fig12.(
+          print ppf
+            (generate ~seed
+               ~mc_duration:(if quick then 5_000. else 30_000.)
+               ~jobs ())) );
+    ("fig13", fun () -> Experiments.Fig13.(print ppf (generate ())));
+    ( "validation",
+      fun () ->
+        Experiments.Validation.(
+          print ppf (generate ~duration:(if quick then 300. else 900.) ~jobs ()))
+    );
+    ( "window-dist",
+      fun () ->
+        Experiments.Window_dist.(
+          print ppf
+            (generate ~rounds:(if quick then 50_000 else 200_000) ~jobs ())) );
+    ("sensitivity", fun () -> Experiments.Sensitivity.(print ppf (elasticities ())));
+    ( "fairness",
+      fun () ->
+        Experiments.Fairness.(
+          print ppf
+            (generate
+               ~scenarios:
+                 (if quick then
+                    [
+                      {
+                        label = "3 reno + 1 tfrc";
+                        reno_flows = 3;
+                        tfrc_flows = 1;
+                        duration = 60.;
+                      };
+                    ]
+                  else Experiments.Fairness.default_scenarios)
+               ~jobs ())) );
+  ]
+
+let write_timings_json ~path ~quick ~jobs timings =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"pftk-bench-v1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"artifacts\": [\n";
+  let n = List.length timings in
+  List.iteri
+    (fun i (name, seconds) ->
+      Printf.fprintf oc "    { \"name\": %S, \"seconds\": %.6f }%s\n" name
+        seconds
+        (if i = n - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"part1_total_seconds\": %.6f\n"
+    (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let regenerate ~quick ~jobs =
   Experiments.Report.heading ppf "PART 1 -- Paper artifacts regenerated";
-  Experiments.Table1.print ppf;
-  Experiments.Table2.(print ppf (generate ~seed ~duration:hour ()));
-  Experiments.Fig_window.(print ppf (generate ~seed ()));
-  Experiments.Fig7.(print ppf (generate ~seed ~duration:hour ()));
-  Experiments.Fig8.(print ppf (generate ~seed ~count ()));
-  Experiments.Fig9.(
-    print ppf ~title:"Fig. 9: Comparison of the models for 1-h traces"
-      (generate ~seed ~duration:hour ()));
-  Experiments.Fig10.(print ppf (generate ~seed ~count ()));
-  Experiments.Fig11.(
-    print ppf
-      [
-        run_wide_area ~seed ~duration:(if quick then 900. else 3600.) ();
-        run_modem ~seed ~duration:(if quick then 1800. else 3600.) ();
-      ]);
-  Experiments.Fig12.(
-    print ppf
-      (generate ~seed ~mc_duration:(if quick then 5_000. else 30_000.) ()));
-  Experiments.Fig13.(print ppf (generate ()));
-  Experiments.Validation.(
-    print ppf (generate ~duration:(if quick then 300. else 900.) ()));
-  Experiments.Window_dist.(
-    print ppf (generate ~rounds:(if quick then 50_000 else 200_000) ()));
-  Experiments.Sensitivity.(print ppf (elasticities ()));
-  Experiments.Fairness.(
-    print ppf
-      (generate
-         ~scenarios:
-           (if quick then
-              [
-                {
-                  label = "3 reno + 1 tfrc";
-                  reno_flows = 3;
-                  tfrc_flows = 1;
-                  duration = 60.;
-                };
-              ]
-            else Experiments.Fairness.default_scenarios)
-         ()))
+  let timings =
+    List.map
+      (fun (name, run) ->
+        let t0 = Unix.gettimeofday () in
+        run ();
+        Format.pp_print_flush ppf ();
+        (name, Unix.gettimeofday () -. t0))
+      (artifacts ~quick ~jobs)
+  in
+  (* Timings on stderr, not stdout: stdout must stay byte-comparable
+     across --jobs values. *)
+  let err = Format.err_formatter in
+  Format.fprintf err "# Part-1 wall-clock (jobs=%d)@." jobs;
+  List.iter
+    (fun (name, seconds) -> Format.fprintf err "%-12s %9.3f s@." name seconds)
+    timings;
+  Format.fprintf err "%-12s %9.3f s@." "total"
+    (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
+  Format.pp_print_flush err ();
+  write_timings_json ~path:"BENCH_results.json" ~quick ~jobs timings
 
 (* --- Part 2: ablation studies --------------------------------------------- *)
 
@@ -357,10 +429,28 @@ let micro () =
       else Format.fprintf ppf "%-36s %12.1f ns/run@." name ns)
     rows
 
+(* Minimal flag parsing: --quick, --no-micro, --jobs N (or --jobs=N). *)
+let parse_jobs argv =
+  let jobs = ref (Pftk_parallel.default_jobs ()) in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--jobs" && i + 1 < Array.length argv then
+        jobs := int_of_string argv.(i + 1)
+      else
+        match String.index_opt arg '=' with
+        | Some eq when String.sub arg 0 eq = "--jobs" ->
+            jobs :=
+              int_of_string (String.sub arg (eq + 1) (String.length arg - eq - 1))
+        | _ -> ())
+    argv;
+  if !jobs < 1 then failwith "--jobs must be >= 1";
+  !jobs
+
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let no_micro = Array.exists (( = ) "--no-micro") Sys.argv in
-  regenerate ~quick;
+  let jobs = parse_jobs Sys.argv in
+  regenerate ~quick ~jobs;
   ablations ();
   if not no_micro then micro ();
   Format.pp_print_flush ppf ()

@@ -36,6 +36,25 @@ let quick_arg =
   let doc = "Shorter runs: 600-s traces and 30 connections per batch." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the simulation fan-out (default: the number of \
+     cores).  Results are independent of $(docv)."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "JOBS must be >= 1")
+      | None -> Error (`Msg (Printf.sprintf "invalid JOBS value %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Pftk_parallel.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let model_arg =
   let doc =
     "Model: full (default), approximate, td-only, td-only-sqrt, \
@@ -261,61 +280,65 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table I: measurement hosts.") Term.(const run $ const ())
 
 let table2_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     Pftk_experiments.Table2.(
-      print ppf (generate ~seed ~duration:(hour_duration quick) ()))
+      print ppf (generate ~seed ~duration:(hour_duration quick) ~jobs ()))
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Table II: 1-hour trace summaries, sim vs paper.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fig7_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     Pftk_experiments.Fig7.(
-      print ppf (generate ~seed ~duration:(hour_duration quick) ()))
+      print ppf (generate ~seed ~duration:(hour_duration quick) ~jobs ()))
   in
   Cmd.v (Cmd.info "fig7" ~doc:"Fig. 7: interval scatter vs model curves.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fig8_cmd =
-  let run seed quick =
-    Pftk_experiments.Fig8.(print ppf (generate ~seed ~count:(batch_count quick) ()))
+  let run seed quick jobs =
+    Pftk_experiments.Fig8.(
+      print ppf (generate ~seed ~count:(batch_count quick) ~jobs ()))
   in
   Cmd.v (Cmd.info "fig8" ~doc:"Fig. 8: 100-s traces vs model predictions.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fig9_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     Pftk_experiments.Fig9.(
       print ppf ~title:"Fig. 9: Comparison of the models for 1-h traces"
-        (generate ~seed ~duration:(hour_duration quick) ()))
+        (generate ~seed ~duration:(hour_duration quick) ~jobs ()))
   in
   Cmd.v (Cmd.info "fig9" ~doc:"Fig. 9: average error on 1-hour traces.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fig10_cmd =
-  let run seed quick =
-    Pftk_experiments.Fig10.(print ppf (generate ~seed ~count:(batch_count quick) ()))
+  let run seed quick jobs =
+    Pftk_experiments.Fig10.(
+      print ppf (generate ~seed ~count:(batch_count quick) ~jobs ()))
   in
   Cmd.v (Cmd.info "fig10" ~doc:"Fig. 10: average error on 100-s traces.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fig11_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     let duration = if quick then 900. else 3600. in
     Pftk_experiments.Fig11.(
-      print ppf [ run_wide_area ~seed ~duration (); run_modem ~seed ~duration () ])
+      print ppf
+        (generate ~seed ~wide_duration:duration ~modem_duration:duration ~jobs
+           ()))
   in
   Cmd.v (Cmd.info "fig11" ~doc:"Fig. 11 / Sec. IV: modem correlation study.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fig12_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     let mc_duration = if quick then 5_000. else 30_000. in
-    Pftk_experiments.Fig12.(print ppf (generate ~seed ~mc_duration ()))
+    Pftk_experiments.Fig12.(print ppf (generate ~seed ~mc_duration ~jobs ()))
   in
   Cmd.v (Cmd.info "fig12" ~doc:"Fig. 12: full model vs numerical Markov model.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fig13_cmd =
   let run () = Pftk_experiments.Fig13.(print ppf (generate ())) in
@@ -372,17 +395,18 @@ let timeline_cmd =
     Term.(const run $ seed_arg $ trace_arg)
 
 let validate_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     Pftk_experiments.Validation.(
-      print ppf (generate ~seed ~duration:(if quick then 300. else 900.) ()))
+      print ppf
+        (generate ~seed ~duration:(if quick then 300. else 900.) ~jobs ()))
   in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Model vs the packet-level Reno simulator across loss rates.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let fairness_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     let scenarios =
       if quick then
         [
@@ -395,12 +419,12 @@ let fairness_cmd =
         ]
       else Pftk_experiments.Fairness.default_scenarios
     in
-    Pftk_experiments.Fairness.(print ppf (generate ~seed ~scenarios ()))
+    Pftk_experiments.Fairness.(print ppf (generate ~seed ~scenarios ~jobs ()))
   in
   Cmd.v
     (Cmd.info "fairness"
        ~doc:"TCP-friendliness of an equation-paced flow at a shared bottleneck.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let sensitivity_cmd =
   let run () =
@@ -417,31 +441,34 @@ let figwindow_cmd =
     Term.(const run $ seed_arg)
 
 let all_cmd =
-  let run seed quick =
+  let run seed quick jobs =
     Pftk_experiments.Table1.print ppf;
     Pftk_experiments.Table2.(
-      print ppf (generate ~seed ~duration:(hour_duration quick) ()));
+      print ppf (generate ~seed ~duration:(hour_duration quick) ~jobs ()));
     Pftk_experiments.Fig_window.(print ppf (generate ~seed ()));
     Pftk_experiments.Fig7.(
-      print ppf (generate ~seed ~duration:(hour_duration quick) ()));
-    Pftk_experiments.Fig8.(print ppf (generate ~seed ~count:(batch_count quick) ()));
+      print ppf (generate ~seed ~duration:(hour_duration quick) ~jobs ()));
+    Pftk_experiments.Fig8.(
+      print ppf (generate ~seed ~count:(batch_count quick) ~jobs ()));
     Pftk_experiments.Fig9.(
       print ppf ~title:"Fig. 9: Comparison of the models for 1-h traces"
-        (generate ~seed ~duration:(hour_duration quick) ()));
-    Pftk_experiments.Fig10.(print ppf (generate ~seed ~count:(batch_count quick) ()));
-    Pftk_experiments.Fig11.(
-      print ppf
-        [
-          run_wide_area ~seed ~duration:(if quick then 900. else 3600.) ();
-          run_modem ~seed ~duration:(if quick then 900. else 3600.) ();
-        ]);
+        (generate ~seed ~duration:(hour_duration quick) ~jobs ()));
+    Pftk_experiments.Fig10.(
+      print ppf (generate ~seed ~count:(batch_count quick) ~jobs ()));
+    (let duration = if quick then 900. else 3600. in
+     Pftk_experiments.Fig11.(
+       print ppf
+         (generate ~seed ~wide_duration:duration ~modem_duration:duration ~jobs
+            ())));
     Pftk_experiments.Fig12.(
-      print ppf (generate ~seed ~mc_duration:(if quick then 5_000. else 30_000.) ()));
+      print ppf
+        (generate ~seed ~mc_duration:(if quick then 5_000. else 30_000.) ~jobs ()));
     Pftk_experiments.Fig13.(print ppf (generate ()));
     Pftk_experiments.Validation.(
-      print ppf (generate ~seed ~duration:(if quick then 300. else 900.) ()));
+      print ppf (generate ~seed ~duration:(if quick then 300. else 900.) ~jobs ()));
     Pftk_experiments.Window_dist.(
-      print ppf (generate ~seed ~rounds:(if quick then 50_000 else 200_000) ()));
+      print ppf
+        (generate ~seed ~rounds:(if quick then 50_000 else 200_000) ~jobs ()));
     Pftk_experiments.Sensitivity.(print ppf (elasticities ()));
     Pftk_experiments.Fairness.(
       print ppf
@@ -457,10 +484,10 @@ let all_cmd =
                   };
                 ]
               else default_scenarios)
-           ()))
+           ~jobs ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure.")
-    Term.(const run $ seed_arg $ quick_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let main_cmd =
   let doc =

@@ -105,11 +105,14 @@ let run_for ?(seed = 11L) ~duration profile =
 
 let hour_trace ?seed profile = run_for ?seed ~duration:3600. profile
 
-let batch_100s ?(seed = 11L) ?(count = 100) profile =
+let batch_100s ?(seed = 11L) ?(count = 100) ?(jobs = 1) profile =
   if count < 1 then invalid_arg "Workload.batch_100s: count < 1";
   (* Calibrate once for the path; each connection then gets its own RNG
-     stream, like the paper's serially-initiated connections. *)
+     stream, like the paper's serially-initiated connections.  The
+     per-index seeds make the batch embarrassingly parallel: fanning the
+     connections across domains cannot change any result. *)
   let cal = calibrate ~seed profile in
-  List.init count (fun i ->
+  Pftk_parallel.init ~jobs count (fun i ->
       let connection_seed = Int64.add seed (Int64.of_int (100 + i)) in
       run_with_calibration ~seed:connection_seed ~duration:100. profile cal)
+  |> Array.to_list

@@ -42,8 +42,12 @@ val loss_process : Pftk_stats.Rng.t -> calibration -> Pftk_loss.Loss_process.t
 val hour_trace : ?seed:int64 -> Path_profile.t -> trace
 (** One 3600-s saturated connection, with full event recording. *)
 
-val batch_100s : ?seed:int64 -> ?count:int -> Path_profile.t -> trace list
-(** [count] (default 100) independent 100-s connections, one seed each. *)
+val batch_100s :
+  ?seed:int64 -> ?count:int -> ?jobs:int -> Path_profile.t -> trace list
+(** [count] (default 100) independent 100-s connections, one seed each.
+    [jobs] (default 1) worker domains simulate the connections in
+    parallel; results are identical for every [jobs] value because each
+    connection's stream depends only on its index. *)
 
 val run_for : ?seed:int64 -> duration:float -> Path_profile.t -> trace
 (** Arbitrary-duration variant used by both of the above. *)

@@ -47,8 +47,8 @@ let evaluate ?(seed = 59L) scenario =
     friendliness_ratio = (if reno > 0. && tfrc > 0. then tfrc /. reno else 0.);
   }
 
-let generate ?(seed = 59L) ?(scenarios = default_scenarios) () =
-  List.mapi
+let generate ?(seed = 59L) ?(scenarios = default_scenarios) ?(jobs = 1) () =
+  Pftk_parallel.mapi ~jobs
     (fun i s -> evaluate ~seed:(Int64.add seed (Int64.of_int i)) s)
     scenarios
 

@@ -26,6 +26,9 @@ val default_scenarios : scenario list
 
 val evaluate : ?seed:int64 -> scenario -> outcome
 
-val generate : ?seed:int64 -> ?scenarios:scenario list -> unit -> outcome list
+val generate :
+  ?seed:int64 -> ?scenarios:scenario list -> ?jobs:int -> unit -> outcome list
+(** [jobs] worker domains evaluate the scenarios in parallel; per-index
+    seeds keep the outcomes independent of [jobs]. *)
 
 val print : Format.formatter -> outcome list -> unit

@@ -58,8 +58,8 @@ let paths () =
       (fun (p : Path_profile.t) -> p.Path_profile.receiver <> "p5")
       Path_profile.extras
 
-let generate ?(seed = 37L) ?count () =
-  List.mapi
+let generate ?(seed = 37L) ?count ?(jobs = 1) () =
+  Pftk_parallel.mapi ~jobs
     (fun i profile ->
       entry_for ~seed:(Int64.add seed (Int64.of_int (1000 * i))) ?count profile)
     (paths ())

@@ -6,7 +6,9 @@
     in §III.  Runs over every profiled path (the paper's 100-s campaign
     covered its whole host set). *)
 
-val generate : ?seed:int64 -> ?count:int -> unit -> Fig9.entry list
-(** Sorted by TD-only error.  [count] connections per pair (default 100). *)
+val generate : ?seed:int64 -> ?count:int -> ?jobs:int -> unit -> Fig9.entry list
+(** Sorted by TD-only error.  [count] connections per pair (default 100).
+    [jobs] worker domains cover the paths in parallel; results are
+    independent of [jobs]. *)
 
 val print : Format.formatter -> Fig9.entry list -> unit

@@ -93,6 +93,14 @@ let run_wide_area ?(seed = 43L) ?(duration = 3600.) () =
   analyze ~name:"wide-area (fast shared path)" ~wm
     (Connection.run ~seed ~duration scenario)
 
+let generate ?seed ?(wide_duration = 3600.) ?(modem_duration = 3600.)
+    ?(jobs = 1) () =
+  Pftk_parallel.map ~jobs
+    (function
+      | `Wide_area -> run_wide_area ?seed ~duration:wide_duration ()
+      | `Modem -> run_modem ?seed ~duration:modem_duration ())
+    [ `Wide_area; `Modem ]
+
 let print ppf results =
   Report.heading ppf "Fig. 11 / Sec. IV: RTT-window correlation study";
   List.iter

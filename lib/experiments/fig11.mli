@@ -32,4 +32,15 @@ val run_modem : ?seed:int64 -> ?duration:float -> unit -> scenario_result
 val run_wide_area : ?seed:int64 -> ?duration:float -> unit -> scenario_result
 (** A normal fast path with random loss; expect near-zero correlation. *)
 
+val generate :
+  ?seed:int64 ->
+  ?wide_duration:float ->
+  ?modem_duration:float ->
+  ?jobs:int ->
+  unit ->
+  scenario_result list
+(** Both scenarios — [run_wide_area] then [run_modem], in that order —
+    simulated by up to [jobs] worker domains.  Omitting [seed] keeps each
+    scenario's own default seed. *)
+
 val print : Format.formatter -> scenario_result list -> unit

@@ -16,7 +16,7 @@ let paper_params = Params.make ~rtt:0.47 ~t0:3.2 ~wm:12 ()
 let to_points s = List.map (fun { Sweep.p; rate } -> (p, rate)) s
 
 let generate ?(seed = 47L) ?(params = paper_params) ?grid
-    ?(mc_duration = 30_000.) () =
+    ?(mc_duration = 30_000.) ?(jobs = 1) () =
   let grid =
     match grid with Some g -> g | None -> Sweep.logspace ~lo:1e-3 ~hi:0.5 ~n:30
   in
@@ -27,7 +27,7 @@ let generate ?(seed = 47L) ?(params = paper_params) ?grid
   let approx = Sweep.series (Approx_model.send_rate params) grid in
   let monte_carlo =
     Array.to_list grid
-    |> List.mapi (fun i p ->
+    |> Pftk_parallel.mapi ~jobs (fun i p ->
            let rng =
              Pftk_stats.Rng.create ~seed:(Int64.add seed (Int64.of_int i)) ()
            in

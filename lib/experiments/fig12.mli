@@ -21,7 +21,11 @@ val generate :
   ?params:Pftk_core.Params.t ->
   ?grid:float array ->
   ?mc_duration:float ->
+  ?jobs:int ->
   unit ->
   result
+(** [jobs] worker domains run the Monte-Carlo grid points in parallel;
+    each point seeds its own RNG from its index, so results are
+    independent of [jobs]. *)
 
 val print : Format.formatter -> result -> unit

@@ -62,8 +62,8 @@ let panel_for ?(seed = 23L) ?(duration = 3600.) ?(interval = 100.) profile =
   in
   { profile; avg_rtt; avg_t0; points; full_curve; approx_curve; td_only_curve }
 
-let generate ?(seed = 23L) ?duration ?interval () =
-  List.mapi
+let generate ?(seed = 23L) ?duration ?interval ?(jobs = 1) () =
+  Pftk_parallel.mapi ~jobs
     (fun i profile ->
       panel_for ~seed:(Int64.add seed (Int64.of_int i)) ?duration ?interval
         profile)

@@ -25,8 +25,15 @@ type panel = {
 }
 
 val generate :
-  ?seed:int64 -> ?duration:float -> ?interval:float -> unit -> panel list
-(** Defaults: 3600-s traces, 100-s intervals — 36 points per panel. *)
+  ?seed:int64 ->
+  ?duration:float ->
+  ?interval:float ->
+  ?jobs:int ->
+  unit ->
+  panel list
+(** Defaults: 3600-s traces, 100-s intervals — 36 points per panel.
+    [jobs] worker domains simulate the panels in parallel (per-index
+    seeds keep the result independent of [jobs]). *)
 
 val panel_for :
   ?seed:int64 ->

@@ -39,8 +39,8 @@ let sample_of_trace ~index ~(profile : Path_profile.t) summary =
       }
   end
 
-let panel_for ?(seed = 29L) ?count profile =
-  let traces = Workload.batch_100s ~seed ?count profile in
+let panel_for ?(seed = 29L) ?count ?jobs profile =
+  let traces = Workload.batch_100s ~seed ?count ?jobs profile in
   let samples =
     List.mapi
       (fun index trace ->
@@ -51,8 +51,11 @@ let panel_for ?(seed = 29L) ?count profile =
   in
   { profile; samples }
 
-let generate ?(seed = 29L) ?count () =
-  List.mapi
+(* Parallelism lives at the panel level (it covers the per-path
+   calibration as well as the batch); each panel's inner batch stays
+   sequential so the domain counts don't multiply. *)
+let generate ?(seed = 29L) ?count ?(jobs = 1) () =
+  Pftk_parallel.mapi ~jobs
     (fun i profile ->
       panel_for ~seed:(Int64.add seed (Int64.of_int (1000 * i))) ?count profile)
     Path_profile.fig8_paths

@@ -20,11 +20,15 @@ type panel = {
   samples : sample list;  (** Traces without loss indications are skipped. *)
 }
 
-val generate : ?seed:int64 -> ?count:int -> unit -> panel list
-(** [count] connections per pair, default 100. *)
+val generate : ?seed:int64 -> ?count:int -> ?jobs:int -> unit -> panel list
+(** [count] connections per pair, default 100.  [jobs] worker domains
+    build the panels in parallel; results are independent of [jobs]. *)
 
 val panel_for :
-  ?seed:int64 -> ?count:int -> Pftk_dataset.Path_profile.t -> panel
+  ?seed:int64 -> ?count:int -> ?jobs:int -> Pftk_dataset.Path_profile.t -> panel
+(** [jobs] here parallelizes the panel's own 100-s batch instead (see
+    {!Pftk_dataset.Workload.batch_100s}); don't combine an outer parallel
+    {!generate} with inner [jobs] > 1. *)
 
 val average_errors : panel -> float * float
 (** (full-model error, TD-only error) under the paper's average-error

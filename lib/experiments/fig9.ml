@@ -53,8 +53,8 @@ let entry_for ?(seed = 31L) ?(duration = 3600.) ?(interval = 100.) profile =
       }
   end
 
-let generate ?(seed = 31L) ?duration () =
-  List.mapi
+let generate ?(seed = 31L) ?duration ?(jobs = 1) () =
+  Pftk_parallel.mapi ~jobs
     (fun i profile ->
       entry_for ~seed:(Int64.add seed (Int64.of_int i)) ?duration profile)
     Path_profile.all

@@ -16,8 +16,9 @@ type entry = {
   intervals_used : int;
 }
 
-val generate : ?seed:int64 -> ?duration:float -> unit -> entry list
-(** Sorted by [td_only_error]. *)
+val generate : ?seed:int64 -> ?duration:float -> ?jobs:int -> unit -> entry list
+(** Sorted by [td_only_error].  [jobs] worker domains simulate the traces
+    in parallel; results are independent of [jobs]. *)
 
 val entry_for :
   ?seed:int64 ->

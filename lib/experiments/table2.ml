@@ -5,8 +5,8 @@ module Table2_data = Pftk_dataset.Table2_data
 
 type row = { profile : Path_profile.t; summary : Analyzer.summary }
 
-let generate ?(seed = 17L) ?(duration = 3600.) () =
-  List.mapi
+let generate ?(seed = 17L) ?(duration = 3600.) ?(jobs = 1) () =
+  Pftk_parallel.mapi ~jobs
     (fun i profile ->
       let trace =
         Workload.run_for ~seed:(Int64.add seed (Int64.of_int i)) ~duration

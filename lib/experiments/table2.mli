@@ -13,8 +13,10 @@ type row = {
   summary : Pftk_trace.Analyzer.summary;
 }
 
-val generate : ?seed:int64 -> ?duration:float -> unit -> row list
-(** Default duration 3600 s (the paper's). *)
+val generate : ?seed:int64 -> ?duration:float -> ?jobs:int -> unit -> row list
+(** Default duration 3600 s (the paper's).  [jobs] (default 1) worker
+    domains simulate the 24 paths in parallel; each path seeds its own
+    RNG stream from its index, so results do not depend on [jobs]. *)
 
 val timeout_fraction : row -> float
 (** Simulated fraction of loss indications that are timeouts. *)

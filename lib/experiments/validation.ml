@@ -58,11 +58,11 @@ let point_for ~seed ~duration ~wm injected_p =
       }
   end
 
-let generate ?(seed = 83L) ?(duration = 900.) ?(wm = 32) ?grid () =
+let generate ?(seed = 83L) ?(duration = 900.) ?(wm = 32) ?grid ?(jobs = 1) () =
   let grid = match grid with Some g -> g | None -> default_grid () in
   let points =
     Array.to_list grid
-    |> List.mapi (fun i p ->
+    |> Pftk_parallel.mapi ~jobs (fun i p ->
            point_for ~seed:(Int64.add seed (Int64.of_int i)) ~duration ~wm p)
     |> List.filter_map Fun.id
   in

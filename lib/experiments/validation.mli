@@ -31,9 +31,11 @@ val generate :
   ?duration:float ->
   ?wm:int ->
   ?grid:float array ->
+  ?jobs:int ->
   unit ->
   report
 (** Defaults: 900-s connections, W_m 32, injected loss from 0.002 to 0.15
-    (8 log-spaced points). *)
+    (8 log-spaced points).  [jobs] worker domains run the sweep points in
+    parallel; results are independent of [jobs]. *)
 
 val print : Format.formatter -> report -> unit

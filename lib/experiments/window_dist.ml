@@ -11,23 +11,48 @@ type result = {
   total_variation : float;
 }
 
+(* Monte-Carlo rounds are simulated in fixed-size chunks so the work can
+   fan out across domains.  Chunk layout depends only on [rounds], and the
+   per-chunk streams are derived by splitting one master RNG in chunk
+   order before any simulation starts — so the histogram is bit-identical
+   for every [jobs] value. *)
+let chunk_size = 8_192
+
+let chunk_streams ~seed ~rounds =
+  let chunks = (rounds + chunk_size - 1) / chunk_size in
+  let master = Pftk_stats.Rng.create ~seed () in
+  (* Built with an explicit loop: [split] advances the master stream, so
+     derivation order must be the chunk order. *)
+  let rec build i acc =
+    if i = chunks then List.rev acc
+    else begin
+      let rng = Pftk_stats.Rng.split master in
+      let sim_seed = Pftk_stats.Rng.bits64 master in
+      let n = min chunk_size (rounds - (i * chunk_size)) in
+      build (i + 1) ((rng, sim_seed, n) :: acc)
+    end
+  in
+  build 0 []
+
 let generate ?(seed = 89L) ?(params = Params.make ~rtt:0.47 ~t0:3.2 ~wm:12 ())
-    ?(p = 0.02) ?(rounds = 200_000) () =
+    ?(p = 0.02) ?(rounds = 200_000) ?(jobs = 1) () =
   let solved = Markov.solve params p in
   let markov_dist = Markov.window_distribution solved in
   let wm = Array.length markov_dist in
-  let rng = Pftk_stats.Rng.create ~seed () in
-  let loss = Pftk_loss.Loss_process.round_correlated rng ~p in
-  let samples =
-    Pftk_tcp.Round_sim.window_samples ~seed ~rounds ~loss
-      (Pftk_tcp.Round_sim.config_of_params params)
+  let sample_chunks =
+    Pftk_parallel.map ~jobs
+      (fun (rng, sim_seed, n) ->
+        let loss = Pftk_loss.Loss_process.round_correlated rng ~p in
+        Pftk_tcp.Round_sim.window_samples ~seed:sim_seed ~rounds:n ~loss
+          (Pftk_tcp.Round_sim.config_of_params params))
+      (chunk_streams ~seed ~rounds)
   in
   let counts = Array.make wm 0 in
-  Array.iter
-    (fun w ->
-      let idx = min (wm - 1) (max 0 (int_of_float (Float.round w) - 1)) in
-      counts.(idx) <- counts.(idx) + 1)
-    samples;
+  List.iter
+    (Array.iter (fun w ->
+         let idx = min (wm - 1) (max 0 (int_of_float (Float.round w) - 1)) in
+         counts.(idx) <- counts.(idx) + 1))
+    sample_chunks;
   let simulated_dist =
     Array.map (fun c -> float_of_int c /. float_of_int rounds) counts
   in

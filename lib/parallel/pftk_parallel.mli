@@ -1,0 +1,58 @@
+(** Domain-parallel fan-out for independent simulation jobs.
+
+    Every expensive fan-out in this repository — per-path hour traces,
+    100-s connection batches, Monte-Carlo sweeps — is embarrassingly
+    parallel: each item derives its own RNG stream from its index, so
+    items never share mutable state.  This module runs such fan-outs on a
+    fixed-size pool of OCaml 5 domains ([Domain] + [Mutex] + [Condition],
+    no external dependencies) while keeping results in input order.
+
+    Determinism contract: callers must make each item's work a pure
+    function of the item itself (per-index seeds, no shared RNG).  Under
+    that discipline the results are identical for every [jobs] value, and
+    [jobs:1] short-circuits to the plain sequential [List.map] /
+    [Array.init] path without spawning any domain.
+
+    Nesting: calls compose (an inner [map] inside a worker just spawns its
+    own pool), but the domain counts multiply — keep inner fan-outs at
+    [jobs:1] when the outer level already saturates the machine. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size command-line
+    front ends should default their [--jobs] flag to. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs] worker
+    domains.  Results are returned in input order.  If any application of
+    [f] raises, remaining unstarted jobs are abandoned and the first
+    observed exception is re-raised in the caller (with its backtrace)
+    after all workers have stopped.  [jobs:1] is exactly [List.map].
+    Requires [jobs >= 1]. *)
+
+val mapi : jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map} with the item's index, mirroring [List.mapi] — the shape
+    of every per-path experiment loop (the index feeds the seed). *)
+
+val init : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [Array.init n f] computed in parallel; same
+    ordering and exception contract as {!map}.  Requires [n >= 0]. *)
+
+(** The underlying fixed-size worker pool, exposed for workloads that
+    want to submit heterogeneous tasks themselves.  Tasks must not raise
+    (wrap them); {!map}/{!init} handle that for the common case. *)
+module Pool : sig
+  type t
+
+  val create : size:int -> t
+  (** Spawn [size] worker domains.  Requires [size >= 1]. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Queue a task.  Raises [Invalid_argument] after {!shutdown}. *)
+
+  val wait : t -> unit
+  (** Block until every submitted task has finished. *)
+
+  val shutdown : t -> unit
+  (** Drain remaining tasks, then join all worker domains.  The pool
+      cannot be reused afterwards. *)
+end

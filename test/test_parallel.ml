@@ -1,0 +1,141 @@
+(* Tests for Pftk_parallel: ordering, exception propagation, the pool
+   primitive, and — the property everything else rests on — determinism of
+   the experiment generators under parallelism (jobs:1 vs jobs:4). *)
+
+open Pftk_parallel
+
+(* Uneven per-item work so parallel completion order differs from input
+   order; the result must still come back in input order. *)
+let busy_work i =
+  let n = 1 + ((i * 7919) mod 2000) in
+  let acc = ref 0 in
+  for k = 1 to n do
+    acc := (!acc + (k * k)) mod 1_000_003
+  done;
+  (i, !acc)
+
+let test_map_ordering () =
+  let items = List.init 50 Fun.id in
+  Alcotest.(check (list (pair int int)))
+    "input order preserved" (List.map busy_work items)
+    (map ~jobs:4 busy_work items)
+
+let test_mapi_indices () =
+  let items = [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ] in
+  Alcotest.(check (list (pair int string)))
+    "indices line up"
+    (List.mapi (fun i x -> (i, x)) items)
+    (mapi ~jobs:3 (fun i x -> (i, x)) items)
+
+let test_init_ordering () =
+  Alcotest.(check (array (pair int int)))
+    "init matches Array.init"
+    (Array.init 33 busy_work)
+    (init ~jobs:4 33 busy_work)
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty list" [] (map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 4 ] (map ~jobs:4 succ [ 3 ]);
+  Alcotest.(check (array int)) "empty init" [||] (init ~jobs:4 0 succ)
+
+let test_jobs_one_is_sequential () =
+  let trace = ref [] in
+  let f i =
+    trace := i :: !trace;
+    i
+  in
+  ignore (map ~jobs:1 f [ 0; 1; 2; 3 ]);
+  Alcotest.(check (list int))
+    "jobs:1 visits items left to right" [ 0; 1; 2; 3 ] (List.rev !trace)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Alcotest.check_raises "worker exception re-raised" (Boom 7) (fun () ->
+      ignore
+        (map ~jobs:4
+           (fun i -> if i = 7 then raise (Boom 7) else busy_work i)
+           (List.init 20 Fun.id)));
+  Alcotest.check_raises "init propagates too" (Boom 3) (fun () ->
+      ignore (init ~jobs:2 10 (fun i -> if i = 3 then raise (Boom 3) else i)))
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs:0 rejected"
+    (Invalid_argument "Pftk_parallel.map: jobs must be >= 1") (fun () ->
+      ignore (map ~jobs:0 Fun.id [ 1 ]));
+  Alcotest.check_raises "negative n rejected"
+    (Invalid_argument "Pftk_parallel.init: n must be >= 0") (fun () ->
+      ignore (init ~jobs:2 (-1) Fun.id))
+
+let test_pool_direct () =
+  let pool = Pool.create ~size:3 in
+  let cells = Array.make 20 0 in
+  Array.iteri (fun i _ -> Pool.submit pool (fun () -> cells.(i) <- i + 1)) cells;
+  Pool.wait pool;
+  Pool.shutdown pool;
+  Alcotest.(check (array int))
+    "every task ran exactly once"
+    (Array.init 20 (fun i -> i + 1))
+    cells;
+  Alcotest.check_raises "submit after shutdown rejected"
+    (Invalid_argument "Pftk_parallel.Pool.submit: pool is shut down")
+    (fun () -> Pool.submit pool (fun () -> ()))
+
+(* --- Determinism of the experiment fan-outs under parallelism ----------- *)
+
+let test_table2_deterministic () =
+  let a = Pftk_experiments.Table2.generate ~seed:211L ~duration:120. ~jobs:1 () in
+  let b = Pftk_experiments.Table2.generate ~seed:211L ~duration:120. ~jobs:4 () in
+  Alcotest.(check int) "same row count" (List.length a) (List.length b);
+  Alcotest.(check bool) "rows identical under jobs:4" true (a = b)
+
+let test_fig9_deterministic () =
+  let a = Pftk_experiments.Fig9.generate ~seed:212L ~duration:120. ~jobs:1 () in
+  let b = Pftk_experiments.Fig9.generate ~seed:212L ~duration:120. ~jobs:4 () in
+  Alcotest.(check bool) "entries identical under jobs:4" true (a = b)
+
+let test_window_dist_deterministic () =
+  let a =
+    Pftk_experiments.Window_dist.generate ~seed:213L ~rounds:30_000 ~jobs:1 ()
+  in
+  let b =
+    Pftk_experiments.Window_dist.generate ~seed:213L ~rounds:30_000 ~jobs:4 ()
+  in
+  Alcotest.(check (array (float 0.)))
+    "histograms bit-identical under jobs:4"
+    a.Pftk_experiments.Window_dist.simulated_dist
+    b.Pftk_experiments.Window_dist.simulated_dist
+
+let test_batch_deterministic () =
+  let profile = List.hd Pftk_dataset.Path_profile.all in
+  let rates jobs =
+    Pftk_dataset.Workload.batch_100s ~seed:214L ~count:8 ~jobs profile
+    |> List.map (fun t ->
+           t.Pftk_dataset.Workload.result.Pftk_tcp.Round_sim.send_rate)
+  in
+  Alcotest.(check (list (float 0.)))
+    "batch rates identical under jobs:4" (rates 1) (rates 4)
+
+let () =
+  let case name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "pftk_parallel"
+    [
+      ( "primitives",
+        [
+          case "map ordering" test_map_ordering;
+          case "mapi indices" test_mapi_indices;
+          case "init ordering" test_init_ordering;
+          case "empty and singleton" test_empty_and_singleton;
+          case "jobs:1 sequential" test_jobs_one_is_sequential;
+          case "exception propagation" test_exception_propagation;
+          case "invalid arguments" test_invalid_jobs;
+          case "pool direct use" test_pool_direct;
+        ] );
+      ( "determinism",
+        [
+          case "table2 jobs:1 = jobs:4" test_table2_deterministic;
+          case "fig9 jobs:1 = jobs:4" test_fig9_deterministic;
+          case "window-dist jobs:1 = jobs:4" test_window_dist_deterministic;
+          case "workload batch jobs:1 = jobs:4" test_batch_deterministic;
+        ] );
+    ]

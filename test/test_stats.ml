@@ -122,6 +122,51 @@ let test_rng_split_independent () =
   Alcotest.(check bool) "streams differ" false
     (Rng.bits64 parent = Rng.bits64 child)
 
+(* split now gates Monte-Carlo correctness (Window_dist chunks its rounds
+   across domains, one split stream per chunk), so pin down its contract:
+   reproducible, and no shared prefix between any of the derived streams. *)
+
+let stream rng n = List.init n (fun _ -> Rng.bits64 rng)
+
+let test_rng_split_reproducible () =
+  let run () =
+    let parent = Rng.create ~seed:77L () in
+    let c1 = Rng.split parent in
+    let c2 = Rng.split parent in
+    (stream c1 32, stream c2 32, stream parent 32)
+  in
+  let a1, a2, ap = run () in
+  let b1, b2, bp = run () in
+  Alcotest.(check (list int64)) "first child reproducible" a1 b1;
+  Alcotest.(check (list int64)) "second child reproducible" a2 b2;
+  Alcotest.(check (list int64)) "parent continuation reproducible" ap bp
+
+let test_rng_split_no_shared_prefix () =
+  (* Chunk-stream derivation order, as Window_dist uses it: a master RNG
+     split repeatedly.  No two derived streams (nor the parent's own
+     continuation) may share a prefix — or even a single 64-bit value in
+     their first 64 outputs, collisions being ~2^-52 events. *)
+  let parent = Rng.create ~seed:78L () in
+  let children = List.init 8 (fun _ -> Rng.split parent) in
+  let streams = stream parent 64 :: List.map (fun c -> stream c 64) children in
+  let rec check_pairs = function
+    | [] -> ()
+    | s :: rest ->
+        List.iter
+          (fun t ->
+            Alcotest.(check bool)
+              "prefixes differ" false
+              (List.hd s = List.hd t);
+            List.iter
+              (fun v ->
+                Alcotest.(check bool)
+                  "no value shared in first 64 outputs" false (List.mem v t))
+              s)
+          rest;
+        check_pairs rest
+  in
+  check_pairs streams
+
 let test_rng_copy () =
   let a = Rng.create ~seed:13L () in
   let _ = Rng.bits64 a in
@@ -426,6 +471,8 @@ let () =
           case "normal moments" test_rng_normal_moments;
           case "shuffle is a permutation" test_rng_shuffle_permutation;
           case "split independence" test_rng_split_independent;
+          case "split reproducible" test_rng_split_reproducible;
+          case "split no shared prefix" test_rng_split_no_shared_prefix;
           case "copy" test_rng_copy;
         ] );
       ( "descriptive",
