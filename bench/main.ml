@@ -87,6 +87,27 @@ let artifacts ~quick ~jobs =
                ~jobs ())) );
   ]
 
+(* BENCH_results.json feeds the cross-PR perf trajectory; refuse to
+   record timings for a tree that fails pftk-lint so the numbers always
+   describe a clean tree. Run from anywhere else (no source dirs in
+   sight), there is nothing to check. *)
+let tree_is_lint_clean () =
+  match
+    List.filter
+      (fun d -> Sys.file_exists d && Sys.is_directory d)
+      [ "lib"; "bin"; "bench"; "examples" ]
+  with
+  | [] -> true
+  | roots -> (
+      match Pftk_lint_engine.lint_dirs roots with
+      | [] -> true
+      | findings ->
+          let err = Format.err_formatter in
+          List.iter
+            (fun f -> Format.fprintf err "%a@." Pftk_lint_engine.pp_finding f)
+            findings;
+          false)
+
 let write_timings_json ~path ~quick ~jobs timings =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
@@ -128,7 +149,11 @@ let regenerate ~quick ~jobs =
   Format.fprintf err "%-12s %9.3f s@." "total"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
   Format.pp_print_flush err ();
-  write_timings_json ~path:"BENCH_results.json" ~quick ~jobs timings
+  if tree_is_lint_clean () then
+    write_timings_json ~path:"BENCH_results.json" ~quick ~jobs timings
+  else
+    Format.fprintf err
+      "# BENCH_results.json not written: tree fails pftk-lint@."
 
 (* --- Part 2: ablation studies --------------------------------------------- *)
 
@@ -322,7 +347,7 @@ let ablations () =
         ]
     in
     List.iter
-      (fun f ->
+      (fun (f : Pftk_tcp.Shared_bottleneck.flow_result) ->
         Format.fprintf ppf "%-12s %-6s goodput %7.1f pkt/s  loss %.4f@."
           f.Pftk_tcp.Shared_bottleneck.name
           f.Pftk_tcp.Shared_bottleneck.kind_label

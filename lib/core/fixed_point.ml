@@ -52,7 +52,7 @@ let solve ?(b = 2) ?(wm = Params.unlimited_window) ?(t0_factor = 4.)
     end
     else begin
       let rec bisect lo hi n =
-        if n = 0 then (lo +. hi) /. 2.
+        if Int.equal n 0 then (lo +. hi) /. 2.
         else
           let mid = sqrt (lo *. hi) in
           if rate mid > fair_share then bisect mid hi (n - 1)
@@ -83,7 +83,7 @@ let required_buffer ?(b = 2) ?(target_p = 0.01) ~flows ~capacity ~base_rtt () =
   else if loss_at hi >= target_p then hi
   else begin
     let rec bisect lo hi n =
-      if n = 0 then (lo +. hi) /. 2.
+      if Int.equal n 0 then (lo +. hi) /. 2.
       else
         let mid = (lo +. hi) /. 2. in
         if loss_at mid > target_p then bisect mid hi (n - 1)

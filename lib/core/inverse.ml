@@ -9,7 +9,7 @@ let loss_for_rate ?(lo = 1e-9) ?(hi = 0.999) ?(tolerance = 1e-9) model target =
     let rec bisect log_lo log_hi iter =
       let log_mid = (log_lo +. log_hi) /. 2. in
       let mid = exp log_mid in
-      if iter = 0 || (log_hi -. log_lo) < tolerance then mid
+      if Int.equal iter 0 || (log_hi -. log_lo) < tolerance then mid
       else if model mid > target then bisect log_mid log_hi (iter - 1)
       else bisect log_lo log_mid (iter - 1)
     in

@@ -34,11 +34,11 @@ let build ?(q = Qhat.Closed) ~w_max (params : Params.t) p =
     let p_loss = 1. -. p_ok in
     let qhat = Qhat.eval q ~p (float_of_int w) in
     let last_round = expected_last_round ~p w in
-    let halved = max 1 (w / 2) in
+    let halved = Int.max 1 (w / 2) in
     for c = 0 to b - 1 do
       let s = state_index ~b w c in
       let grown =
-        if c + 1 >= b then state_index ~b (min (w + 1) w_max) 0
+        if c + 1 >= b then state_index ~b (Int.min (w + 1) w_max) 0
         else state_index ~b w (c + 1)
       in
       let td_next = state_index ~b halved 0 in
@@ -88,7 +88,7 @@ let solve ?(q = Qhat.Closed) ?(max_window = 256) ?(tolerance = 1e-12)
   Params.validate params;
   Params.check_p p;
   if max_window < 1 then invalid_arg "Markov.solve: max_window must be >= 1";
-  let w_max = min params.wm max_window in
+  let w_max = Int.min params.wm max_window in
   let transitions, packets, durations = build ~q ~w_max params p in
   let pi, iterations = power_iteration transitions ~tolerance ~max_iterations in
   { pi; packets; durations; w_max; b = params.b; iterations }

@@ -22,4 +22,6 @@ let pp ppf t =
     Format.fprintf ppf "RTT=%.3fs T0=%.3fs b=%d Wm=unlimited" t.rtt t.t0 t.b
   else Format.fprintf ppf "RTT=%.3fs T0=%.3fs b=%d Wm=%d" t.rtt t.t0 t.b t.wm
 
-let equal a b = a.rtt = b.rtt && a.t0 = b.t0 && a.b = b.b && a.wm = b.wm
+let equal a b =
+  Float.equal a.rtt b.rtt && Float.equal a.t0 b.t0 && Int.equal a.b b.b
+  && Int.equal a.wm b.wm

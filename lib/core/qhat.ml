@@ -13,10 +13,10 @@ let c_prob ~p ~n m =
   Params.check_p p;
   if n < 0 then invalid_arg "Qhat.c_prob: n must be >= 0";
   if m < 0 || m > n then invalid_arg "Qhat.c_prob: m outside [0, n]";
-  if m = n then pow_q p (float_of_int n) else pow_q p (float_of_int m) *. p
+  if Int.equal m n then pow_q p (float_of_int n) else pow_q p (float_of_int m) *. p
 
 let h ~p k =
-  let upper = min 2 k in
+  let upper = Int.min 2 k in
   let acc = ref 0. in
   for m = 0 to upper do
     acc := !acc +. c_prob ~p ~n:k m
@@ -32,7 +32,7 @@ let exact ~p w =
        round given it contains a loss.  k < 3 forces a TO outright; otherwise
        the last round of k packets must yield fewer than 3 dup ACKs. *)
     let acc = ref 0. in
-    for k = 0 to min 2 (w - 1) do
+    for k = 0 to Int.min 2 (w - 1) do
       acc := !acc +. a_prob ~p ~w k
     done;
     for k = 3 to w - 1 do
@@ -60,6 +60,6 @@ type variant = Exact_sum | Closed | Approximate
 
 let eval variant ~p w =
   match variant with
-  | Exact_sum -> exact ~p (max 1 (int_of_float (Float.round w)))
+  | Exact_sum -> exact ~p (Int.max 1 (int_of_float (Float.round w)))
   | Closed -> closed_form ~p w
   | Approximate -> approx w

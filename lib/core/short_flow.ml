@@ -74,7 +74,7 @@ let expected_latency ?(handshake = true) ?(delayed_ack_timeout = 0.1)
   (* Remaining data drains at the steady-state rate of eq. (32). *)
   let remaining = Float.max 0. (d -. d_ss) in
   let t_ca =
-    if remaining = 0. then 0. else remaining /. Full_model.send_rate params p
+    if Float.equal remaining 0. then 0. else remaining /. Full_model.send_rate params p
   in
   let t_handshake = if handshake then params.rtt else 0. in
   let t_delack = delayed_ack_timeout in

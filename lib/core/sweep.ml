@@ -1,8 +1,8 @@
 let logspace ~lo ~hi ~n =
   if not (0. < lo && lo <= hi) then invalid_arg "Sweep.logspace: need 0 < lo <= hi";
   if n < 1 then invalid_arg "Sweep.logspace: n must be >= 1";
-  if n = 1 then begin
-    if lo <> hi then invalid_arg "Sweep.logspace: n = 1 requires lo = hi";
+  if Int.equal n 1 then begin
+    if not (Float.equal lo hi) then invalid_arg "Sweep.logspace: n = 1 requires lo = hi";
     [| lo |]
   end
   else
@@ -11,7 +11,7 @@ let logspace ~lo ~hi ~n =
 
 let linspace ~lo ~hi ~n =
   if n < 1 then invalid_arg "Sweep.linspace: n must be >= 1";
-  if n = 1 then [| lo |]
+  if Int.equal n 1 then [| lo |]
   else
     let step = (hi -. lo) /. float_of_int (n - 1) in
     Array.init n (fun i -> lo +. (step *. float_of_int i))

@@ -72,7 +72,7 @@ module Loss_history = struct
           den := !den +. w.(i)
         end)
       intervals;
-    if !den = 0. then None else Some (!num /. !den)
+    if Float.equal !den 0. then None else Some (!num /. !den)
 
   let average_interval t =
     if not t.in_event then None
@@ -137,7 +137,7 @@ module Controller = struct
     (match t.srtt with
     | Some rtt ->
         Loss_history.set_event_span t.history
-          (max 1 (int_of_float (t.rate *. rtt)))
+          (Int.max 1 (int_of_float (t.rate *. rtt)))
     | None -> ());
     Loss_history.on_packet t.history ~lost
 

@@ -58,7 +58,7 @@ let print ppf outcomes =
     (fun o ->
       Report.subheading ppf o.scenario.label;
       List.iter
-        (fun f ->
+        (fun (f : SB.flow_result) ->
           Format.fprintf ppf "  %-8s %-5s goodput %7.1f pkt/s  loss %.4f@."
             f.SB.name f.SB.kind_label f.SB.goodput f.SB.loss_rate)
         o.result.SB.flows;

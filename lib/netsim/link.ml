@@ -81,7 +81,7 @@ let rec start_transmission t =
                     t.deliver payload));
              start_transmission t))
 
-let send t ~size payload =
+let send (t : _ t) ~size payload =
   if size <= 0 then invalid_arg "Link.send: size must be positive";
   t.offered <- t.offered + 1;
   let randomly_lost =
@@ -106,7 +106,7 @@ let send t ~size payload =
     true
   end
 
-let stats t =
+let stats (t : _ t) : stats =
   {
     offered = t.offered;
     delivered = t.delivered;

@@ -1,6 +1,6 @@
 let check_pair name x y =
   let n = Array.length x in
-  if n <> Array.length y then invalid_arg (name ^ ": length mismatch");
+  if not (Int.equal n (Array.length y)) then invalid_arg (name ^ ": length mismatch");
   if n < 2 then invalid_arg (name ^ ": need at least two points");
   n
 
@@ -16,7 +16,7 @@ let covariance x y =
 let pearson x y =
   let _n = check_pair "Correlation.pearson" x y in
   let sx = Descriptive.std x and sy = Descriptive.std y in
-  if sx = 0. || sy = 0. then 0. else covariance x y /. (sx *. sy)
+  if Float.equal sx 0. || Float.equal sy 0. then 0. else covariance x y /. (sx *. sy)
 
 (* Midranks: ties share the average of the ranks they span. *)
 let midranks a =
@@ -27,7 +27,7 @@ let midranks a =
   let i = ref 0 in
   while !i < n do
     let j = ref !i in
-    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do incr j done;
+    while !j + 1 < n && Float.equal a.(idx.(!j + 1)) a.(idx.(!i)) do incr j done;
     let avg_rank = float_of_int (!i + !j) /. 2. +. 1. in
     for k = !i to !j do
       ranks.(idx.(k)) <- avg_rank

@@ -1,5 +1,5 @@
 let check_nonempty name a =
-  if Array.length a = 0 then invalid_arg (name ^ ": empty input")
+  if Int.equal (Array.length a) 0 then invalid_arg (name ^ ": empty input")
 
 let sum a = Array.fold_left ( +. ) 0. a
 let sum_list l = List.fold_left ( +. ) 0. l
@@ -9,7 +9,7 @@ let mean a =
   sum a /. float_of_int (Array.length a)
 
 let mean_list l =
-  if l = [] then invalid_arg "Descriptive.mean_list: empty input";
+  if List.is_empty l then invalid_arg "Descriptive.mean_list: empty input";
   sum_list l /. float_of_int (List.length l)
 
 let sum_sq_dev a =
@@ -19,7 +19,7 @@ let sum_sq_dev a =
 let variance a =
   check_nonempty "Descriptive.variance" a;
   let n = Array.length a in
-  if n = 1 then 0. else sum_sq_dev a /. float_of_int (n - 1)
+  if Int.equal n 1 then 0. else sum_sq_dev a /. float_of_int (n - 1)
 
 let population_variance a =
   check_nonempty "Descriptive.population_variance" a;
@@ -47,7 +47,7 @@ let quantile a q =
   let n = Array.length b in
   let h = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor h) in
-  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let hi = Int.min (lo + 1) (n - 1) in
   let frac = h -. float_of_int lo in
   b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
 

@@ -1,5 +1,5 @@
 let paired name ~predicted ~observed =
-  if Array.length predicted <> Array.length observed then
+  if not (Int.equal (Array.length predicted) (Array.length observed)) then
     invalid_arg (name ^ ": length mismatch")
 
 (* Fold [f] over pairs with a positive observed value; relative-error
@@ -14,7 +14,7 @@ let fold_valid name f init ~predicted ~observed =
         incr n
       end)
     observed;
-  if !n = 0 then invalid_arg (name ^ ": no usable observations");
+  if Int.equal !n 0 then invalid_arg (name ^ ": no usable observations");
   (!acc, !n)
 
 let average_error ~predicted ~observed =
@@ -44,7 +44,7 @@ let max_relative_error ~predicted ~observed =
 let rmse ~predicted ~observed =
   paired "Error_metrics.rmse" ~predicted ~observed;
   let n = Array.length observed in
-  if n = 0 then invalid_arg "Error_metrics.rmse: empty input";
+  if Int.equal n 0 then invalid_arg "Error_metrics.rmse: empty input";
   let total = ref 0. in
   for i = 0 to n - 1 do
     let d = predicted.(i) -. observed.(i) in

@@ -32,7 +32,7 @@ let add t x =
   else if pos >= 1. then t.overflow <- t.overflow + 1
   else begin
     let i = int_of_float (pos *. float_of_int (n_bins t)) in
-    let i = min i (n_bins t - 1) in
+    let i = Int.min i (n_bins t - 1) in
     t.counts.(i) <- t.counts.(i) + 1
   end
 
@@ -57,7 +57,7 @@ let bin_center t i =
 
 let normalized t =
   let in_range = Array.fold_left ( + ) 0 t.counts in
-  if in_range = 0 then Array.make (n_bins t) 0.
+  if Int.equal in_range 0 then Array.make (n_bins t) 0.
   else Array.map (fun c -> float_of_int c /. float_of_int in_range) t.counts
 
 let pp ppf t =

@@ -2,7 +2,7 @@ type fit = { slope : float; intercept : float; r_squared : float }
 
 let linear_fit x y =
   let n = Array.length x in
-  if n <> Array.length y then invalid_arg "Regression.linear_fit: length mismatch";
+  if not (Int.equal n (Array.length y)) then invalid_arg "Regression.linear_fit: length mismatch";
   if n < 2 then invalid_arg "Regression.linear_fit: need at least two points";
   let mx = Descriptive.mean x and my = Descriptive.mean y in
   let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
@@ -12,10 +12,10 @@ let linear_fit x y =
     sxy := !sxy +. (dx *. dy);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0. then invalid_arg "Regression.linear_fit: x has zero variance";
+  if Float.equal !sxx 0. then invalid_arg "Regression.linear_fit: x has zero variance";
   let slope = !sxy /. !sxx in
   let intercept = my -. (slope *. mx) in
-  let r_squared = if !syy = 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy) in
+  let r_squared = if Float.equal !syy 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy) in
   { slope; intercept; r_squared }
 
 let log_log_fit x y =

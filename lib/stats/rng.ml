@@ -80,7 +80,7 @@ let geometric t p =
     let u = 1. -. float t in
     (* Inverse-CDF: smallest k with 1 - (1-p)^k >= u. *)
     let k = int_of_float (Float.ceil (log u /. log (1. -. p))) in
-    max 1 k
+    Int.max 1 k
 
 let normal t ~mean ~std =
   let u1 = 1. -. float t in

@@ -28,8 +28,8 @@ let max t = t.max
 let total t = t.total
 
 let merge a b =
-  if a.n = 0 then { b with n = b.n }
-  else if b.n = 0 then { a with n = a.n }
+  if Int.equal a.n 0 then { b with n = b.n }
+  else if Int.equal b.n 0 then { a with n = a.n }
   else begin
     let n = a.n + b.n in
     let delta = b.mean -. a.mean in

@@ -40,15 +40,12 @@ let validate_config c =
   if not (0. < c.min_rto && c.min_rto <= c.max_rto) then
     invalid_arg "Reno: inconsistent RTO bounds"
 
-type sent_info = { at : float; flight_then : int; mutable rexmitted : bool }
-
 type t = {
   config : config;
   sim : Sim.t;
   recorder : Recorder.t;
   transmit : Segment.data -> unit;
   rto : Rto.t;
-  sent : (int, sent_info) Hashtbl.t;
   mutable snd_una : int;
   mutable snd_nxt : int;
   mutable cwnd : float;
@@ -82,7 +79,6 @@ let create ?(config = default_config) ~sim ~recorder ~transmit () =
     recorder;
     transmit;
     rto = Rto.create ~min_rto:config.min_rto ~max_rto:config.max_rto ();
-    sent = Hashtbl.create 256;
     snd_una = 0;
     snd_nxt = 0;
     cwnd = config.initial_cwnd;
@@ -132,18 +128,11 @@ let send_segment t ~seq ~retransmission =
     t.retransmissions <- t.retransmissions + 1;
     (* Karn: a retransmission invalidates any in-progress timing of that
        segment. *)
-    (match t.timing with
+    match t.timing with
     | Some (timed, _, _) when timed = seq -> t.timing <- None
-    | Some _ | None -> ());
-    match Hashtbl.find_opt t.sent seq with
-    | Some info -> info.rexmitted <- true
-    | None -> ()
+    | Some _ | None -> ()
   end
-  else begin
-    Hashtbl.replace t.sent seq
-      { at = Sim.now t.sim; flight_then = flight t; rexmitted = false };
-    if t.timing = None then t.timing <- Some (seq, Sim.now t.sim, flight t)
-  end;
+  else if t.timing = None then t.timing <- Some (seq, Sim.now t.sim, flight t);
   record t
     (Event.Segment_sent
        { seq; retransmission; cwnd = t.cwnd; flight = flight t });
@@ -267,7 +256,6 @@ let on_new_ack t ack =
      deducted from the pipe when their block arrived. *)
   let newly = ref 0 in
   for seq = t.snd_una to ack - 1 do
-    Hashtbl.remove t.sent seq;
     if Hashtbl.mem t.sacked seq then Hashtbl.remove t.sacked seq
     else incr newly;
     Hashtbl.remove t.fr_rexmitted seq

@@ -59,7 +59,6 @@ and paced_state = {
   mutable rcv_expected : int;
   mutable sent : int;
   mutable delivered : int;
-  mutable send_event : Sim.event option;
 }
 
 let jain goodputs =
@@ -159,7 +158,6 @@ let run ?(seed = 53L) ?(buffer = 64) ?(bandwidth = 1_250_000.)
               rcv_expected = 0;
               sent = 0;
               delivered = 0;
-              send_event = None;
             }
           in
           endpoints.(flow) <- Some (Paced_endpoint state);
@@ -172,8 +170,7 @@ let run ?(seed = 53L) ?(buffer = 64) ?(bandwidth = 1_250_000.)
               (Link.send bottleneck ~size:(state.mss + 40)
                  (Paced { flow; seq; sent_at = Sim.now sim }));
             let gap = 1. /. Tfrc.Controller.allowed_rate state.controller in
-            state.send_event <-
-              Some (Sim.schedule sim ~delay:(Float.min 10. gap) send_next)
+            ignore (Sim.schedule sim ~delay:(Float.min 10. gap) send_next)
           in
           (* Feedback epochs once per ~RTT. *)
           let rec epoch () =

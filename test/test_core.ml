@@ -637,7 +637,7 @@ let prop_inverse_roundtrip =
       | None -> false)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_full_positive;
       prop_full_below_tdonly;

@@ -381,7 +381,7 @@ let test_bottleneck_conservation () =
       [ SB.reno "a"; SB.reno "b"; SB.tfrc "t" ]
   in
   List.iter
-    (fun f ->
+    (fun (f : SB.flow_result) ->
       Alcotest.(check bool) (f.SB.name ^ " conserves") true
         (f.SB.packets_delivered <= f.SB.packets_sent))
     result.SB.flows;
@@ -801,7 +801,7 @@ let prop_timeline_goodput_conserves =
       Float.abs (binned -. float_of_int (List.length covered)) < 1e-6)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [ prop_latency_positive; prop_serialize_roundtrip; prop_timeline_goodput_conserves ]
 
 let () =

@@ -443,7 +443,7 @@ let prop_running_online =
       Array.iter (Running.add r) a;
       Float.abs (Running.mean r -. Descriptive.mean a) < 1e-6)
 
-let props = List.map QCheck_alcotest.to_alcotest
+let props = List.map (fun t -> QCheck_alcotest.to_alcotest t)
   [
     prop_mean_bounded;
     prop_variance_nonneg;

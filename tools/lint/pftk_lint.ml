@@ -1,0 +1,22 @@
+(* Command-line front end: [pftk_lint DIR...] lints every .ml under the
+   given roots (default: lib bin bench examples), prints findings as
+   file:line:col [rule] message, and exits non-zero if any survive. *)
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | roots -> roots
+  in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  List.iter (Printf.eprintf "pftk-lint: warning: no such directory: %s\n") missing;
+  let roots = List.filter Sys.file_exists roots in
+  let findings = Pftk_lint_engine.lint_dirs roots in
+  List.iter (Format.printf "%a@." Pftk_lint_engine.pp_finding) findings;
+  match findings with
+  | [] ->
+      Printf.eprintf "pftk-lint: clean (%s)\n" (String.concat " " roots);
+      exit 0
+  | _ :: _ ->
+      Printf.eprintf "pftk-lint: %d finding(s)\n" (List.length findings);
+      exit 1
