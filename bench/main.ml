@@ -88,25 +88,46 @@ let artifacts ~quick ~jobs =
   ]
 
 (* BENCH_results.json feeds the cross-PR perf trajectory; refuse to
-   record timings for a tree that fails pftk-lint so the numbers always
-   describe a clean tree. Run from anywhere else (no source dirs in
-   sight), there is nothing to check. *)
+   record timings for a tree that fails pftk-lint (AST rules L1-L5) or
+   pftk-race (typed rules R1-R4) so the numbers always describe a clean
+   tree. Run from anywhere else (no source dirs in sight, no build
+   artifacts), there is nothing to check. *)
+let report_findings findings =
+  let err = Format.err_formatter in
+  List.iter
+    (fun f -> Format.fprintf err "%a@." Pftk_lint_engine.pp_finding f)
+    findings;
+  findings = []
+
+let source_roots () =
+  List.filter
+    (fun d -> Sys.file_exists d && Sys.is_directory d)
+    [ "lib"; "bin"; "bench"; "examples" ]
+
 let tree_is_lint_clean () =
-  match
-    List.filter
-      (fun d -> Sys.file_exists d && Sys.is_directory d)
-      [ "lib"; "bin"; "bench"; "examples" ]
-  with
+  match source_roots () with
   | [] -> true
-  | roots -> (
-      match Pftk_lint_engine.lint_dirs roots with
-      | [] -> true
-      | findings ->
-          let err = Format.err_formatter in
-          List.iter
-            (fun f -> Format.fprintf err "%a@." Pftk_lint_engine.pp_finding f)
-            findings;
-          false)
+  | roots -> report_findings (Pftk_lint_engine.lint_dirs roots)
+
+(* The race analyzer reads the .cmt/.cmti files dune emitted, which live
+   under _build/default when the benchmark runs from the source root and
+   right next to us when it runs from inside _build. *)
+let tree_is_race_clean () =
+  let roots =
+    List.concat_map
+      (fun d -> [ d; Filename.concat "_build/default" d ])
+      [ "lib"; "bin"; "bench"; "examples" ]
+    |> List.filter (fun d -> Sys.file_exists d && Sys.is_directory d)
+  in
+  match Pftk_race_engine.cmt_files roots with
+  | [] -> true
+  | _ :: _ -> report_findings (Pftk_race_engine.analyze_paths roots)
+
+let tree_is_clean () =
+  (* Evaluate both so a dirty tree reports every finding at once. *)
+  let lint = tree_is_lint_clean () in
+  let race = tree_is_race_clean () in
+  lint && race
 
 let write_timings_json ~path ~quick ~jobs timings =
   let oc = open_out path in
@@ -149,11 +170,11 @@ let regenerate ~quick ~jobs =
   Format.fprintf err "%-12s %9.3f s@." "total"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
   Format.pp_print_flush err ();
-  if tree_is_lint_clean () then
+  if tree_is_clean () then
     write_timings_json ~path:"BENCH_results.json" ~quick ~jobs timings
   else
     Format.fprintf err
-      "# BENCH_results.json not written: tree fails pftk-lint@."
+      "# BENCH_results.json not written: tree fails pftk-lint/pftk-race@."
 
 (* --- Part 2: ablation studies --------------------------------------------- *)
 

@@ -15,6 +15,7 @@ let send_rate_uncapped ~rtt ~t0 ~b p =
 
 let send_rate (params : Params.t) p =
   Params.validate params;
+  Params.check_p p;
   Float.min
     (float_of_int params.wm /. params.rtt)
     (send_rate_uncapped ~rtt:params.rtt ~t0:params.t0 ~b:params.b p)

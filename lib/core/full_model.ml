@@ -3,9 +3,12 @@ let effective_window (params : Params.t) p =
 
 let window_limited (params : Params.t) p =
   Params.validate params;
+  Params.check_p p;
   Tdonly.e_w ~b:params.b p >= float_of_int params.wm
 
 let timeout_fraction ?(q = Qhat.Closed) (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
   Qhat.eval q ~p (Float.max 1. (effective_window params p))
 
 (* Eq. (28): numerator is packets per S_i cycle (E[Y] + Q E[R]), denominator
@@ -53,5 +56,6 @@ let send_rate_limited ?(q = Qhat.Closed) (params : Params.t) p =
   numer /. denom
 
 let send_rate ?q params p =
+  Params.check_p p;
   if window_limited params p then send_rate_limited ?q params p
   else send_rate_unconstrained ?q params p

@@ -16,8 +16,13 @@ let loss_for_rate ?(lo = 1e-9) ?(hi = 0.999) ?(tolerance = 1e-9) model target =
     Some (bisect (log lo) (log hi) 200)
   end
 
-let tcp_friendly_rate params p = Full_model.send_rate params p
-let tcp_friendly_rate_simple params p = Approx_model.send_rate params p
+let tcp_friendly_rate params p =
+  Params.check_p p;
+  Full_model.send_rate params p
+
+let tcp_friendly_rate_simple params p =
+  Params.check_p p;
+  Approx_model.send_rate params p
 
 let loss_budget params ~rate =
   loss_for_rate (fun p -> Full_model.send_rate params p) rate

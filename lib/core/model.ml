@@ -31,6 +31,8 @@ let of_name s =
   | _ -> None
 
 let send_rate kind (params : Params.t) p =
+  Params.validate params;
+  Params.check_p p;
   match kind with
   | Td_only -> Tdonly.send_rate ~rtt:params.rtt ~b:params.b p
   | Td_only_sqrt -> Tdonly.send_rate_sqrt ~rtt:params.rtt ~b:params.b p

@@ -16,6 +16,7 @@ let c_prob ~p ~n m =
   if Int.equal m n then pow_q p (float_of_int n) else pow_q p (float_of_int m) *. p
 
 let h ~p k =
+  Params.check_p p;
   let upper = Int.min 2 k in
   let acc = ref 0. in
   for m = 0 to upper do
@@ -59,6 +60,7 @@ let closed_form ~p w =
 type variant = Exact_sum | Closed | Approximate
 
 let eval variant ~p w =
+  Params.check_p p;
   match variant with
   | Exact_sum -> exact ~p (Int.max 1 (int_of_float (Float.round w)))
   | Closed -> closed_form ~p w

@@ -23,6 +23,7 @@ let e_x ~b p =
   c +. sqrt ((2. *. float_of_int b *. (1. -. p) /. (3. *. p)) +. (c *. c))
 
 let e_a ~rtt ~b p =
+  check ~b p;
   if not (rtt > 0.) then invalid_arg "Tdonly.e_a: rtt must be positive";
   rtt *. (e_x ~b p +. 1.)
 
@@ -31,7 +32,10 @@ let e_y ~b p =
   ((1. -. p) /. p) +. e_w ~b p
 
 (* Eq. (19): B = E[Y] / E[A]. *)
-let send_rate ~rtt ~b p = e_y ~b p /. e_a ~rtt ~b p
+let send_rate ~rtt ~b p =
+  check ~b p;
+  if not (rtt > 0.) then invalid_arg "Tdonly.send_rate: rtt must be positive";
+  e_y ~b p /. e_a ~rtt ~b p
 
 let send_rate_sqrt ~rtt ~b p =
   check ~b p;
@@ -39,6 +43,8 @@ let send_rate_sqrt ~rtt ~b p =
   sqrt (3. /. (2. *. float_of_int b *. p)) /. rtt
 
 let send_rate_capped (params : Params.t) p =
+  Params.validate params;
+  check ~b:params.b p;
   Float.min
     (float_of_int params.wm /. params.rtt)
     (send_rate ~rtt:params.rtt ~b:params.b p)

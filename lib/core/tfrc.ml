@@ -142,6 +142,9 @@ module Controller = struct
     Loss_history.on_packet t.history ~lost
 
   let equation_rate t p rtt =
+    Params.check_p p;
+    if not (rtt > 0.) then
+      invalid_arg "Tfrc.Controller.equation_rate: rtt must be positive";
     let params =
       Params.make ~rtt ~t0:(Float.max 1e-3 (t.t0_factor *. rtt)) ()
     in

@@ -59,6 +59,13 @@ module Controller : sig
 
   val on_rtt_sample : t -> float -> unit
   val on_packet : t -> lost:bool -> unit
+
+  val equation_rate : t -> float -> float -> float
+  (** [equation_rate t p rtt] is the raw throughput equation (eq. (33))
+      at loss-event rate [p] and round-trip time [rtt], with
+      [T0 = t0_factor * rtt]; packets/second.  Raises [Invalid_argument]
+      unless [0 < p < 1] and [rtt > 0]. *)
+
   val feedback_epoch : t -> unit
   (** Mark the end of a feedback interval (once per RTT): updates the
       allowed rate — doubling while no loss event has ever been seen,

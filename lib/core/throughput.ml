@@ -29,7 +29,10 @@ let throughput_limited ?(q = Qhat.Closed) (params : Params.t) p =
   numer /. denom
 
 let throughput ?q (params : Params.t) p =
+  Params.check_p p;
   if Full_model.window_limited params p then throughput_limited ?q params p
   else throughput_unconstrained ?q params p
 
-let delivery_ratio ?q params p = throughput ?q params p /. send_rate ?q params p
+let delivery_ratio ?q params p =
+  Params.check_p p;
+  throughput ?q params p /. send_rate ?q params p

@@ -25,11 +25,14 @@ let p_sequence_length p k =
   (p ** float_of_int (k - 1)) *. (1. -. p)
 
 let e_zto ~t0 p =
+  Params.check_p p;
   if not (t0 > 0.) then invalid_arg "Timeouts.e_zto: t0 must be positive";
   t0 *. f p /. (1. -. p)
 
 let e_zto_series ?(backoff_cap = 6) ?(terms = 400) ~t0 p =
   Params.check_p p;
+  if not (t0 > 0.) then
+    invalid_arg "Timeouts.e_zto_series: t0 must be positive";
   let acc = ref 0. in
   for k = 1 to terms do
     acc := !acc +. (sequence_duration ~backoff_cap ~t0 k *. p_sequence_length p k)

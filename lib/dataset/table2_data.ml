@@ -4,7 +4,7 @@ type row = {
   packets_sent : int;
   loss_indications : int;
   td : int;
-  to_counts : int array;
+  to_counts : int list;
   rtt : float;
   timeout : float;
 }
@@ -17,7 +17,7 @@ let row sender receiver packets_sent loss_indications td t0 t1 t2 t3 t4 t5 rtt
     packets_sent;
     loss_indications;
     td;
-    to_counts = [| t0; t1; t2; t3; t4; t5 |];
+    to_counts = [ t0; t1; t2; t3; t4; t5 ];
     rtt;
     timeout;
   }
@@ -58,5 +58,5 @@ let observed_p r =
   float_of_int r.loss_indications /. float_of_int r.packets_sent
 
 let timeout_fraction r =
-  let timeouts = Array.fold_left ( + ) 0 r.to_counts in
+  let timeouts = List.fold_left ( + ) 0 r.to_counts in
   float_of_int timeouts /. float_of_int r.loss_indications

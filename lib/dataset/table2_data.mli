@@ -11,7 +11,7 @@ type row = {
   packets_sent : int;
   loss_indications : int;
   td : int;
-  to_counts : int array;  (** T0, T1, T2, T3, T4, "T5 or more" — 6 cells. *)
+  to_counts : int list;  (** T0, T1, T2, T3, T4, "T5 or more" — 6 cells. *)
   rtt : float;  (** seconds. *)
   timeout : float;  (** average single-timeout duration T_0, seconds. *)
 }

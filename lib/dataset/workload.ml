@@ -23,11 +23,11 @@ let sim_config (profile : Path_profile.t) =
       }
 
 let mean_depth to_counts =
-  let total = Array.fold_left ( + ) 0 to_counts in
+  let total = List.fold_left ( + ) 0 to_counts in
   if total = 0 then 1.
   else begin
     let weighted = ref 0 in
-    Array.iteri (fun i n -> weighted := !weighted + ((i + 1) * n)) to_counts;
+    List.iteri (fun i n -> weighted := !weighted + ((i + 1) * n)) to_counts;
     float_of_int !weighted /. float_of_int total
   end
 
@@ -48,7 +48,9 @@ let observe (result : Round_sim.result) =
     if indications = 0 then 0.
     else float_of_int result.Round_sim.to_sequences /. float_of_int indications
   in
-  (result.Round_sim.observed_p, to_frac, mean_depth result.Round_sim.to_by_backoff)
+  ( result.Round_sim.observed_p,
+    to_frac,
+    mean_depth (Array.to_list result.Round_sim.to_by_backoff) )
 
 let clamp lo hi v = Float.max lo (Float.min hi v)
 

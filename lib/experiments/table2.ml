@@ -50,7 +50,7 @@ let print ppf rows =
             ~packets:published.Table2_data.packets_sent
             ~loss:published.Table2_data.loss_indications
             ~td:published.Table2_data.td
-            ~to_counts:published.Table2_data.to_counts
+            ~to_counts:(Array.of_list published.Table2_data.to_counts)
             ~rtt:published.Table2_data.rtt
             ~timeout:published.Table2_data.timeout)
     rows;

@@ -587,6 +587,76 @@ let test_all_models_evaluate () =
         (Float.is_finite rate && rate > 0.))
     Model.all
 
+(* --- Domain guards ------------------------------------------------------------------------------------- *)
+
+(* Every exported entry point taking a loss probability, an RTT, or a
+   timeout now validates its domain before computing (rule R4 of
+   pftk-race).  Pin the exact message for one representative of each
+   guard style, then sweep the rest generically. *)
+
+let rejects msg f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Invalid_argument" msg
+  | exception Invalid_argument _ -> ()
+
+let test_guard_messages () =
+  Alcotest.check_raises "Full_model.send_rate p=0"
+    (Invalid_argument "loss probability p=0 outside (0, 1)") (fun () ->
+      ignore (Full_model.send_rate default_params 0.));
+  Alcotest.check_raises "Tdonly.send_rate rtt=0"
+    (Invalid_argument "Tdonly.send_rate: rtt must be positive") (fun () ->
+      ignore (Tdonly.send_rate ~rtt:0. ~b:2 0.1));
+  Alcotest.check_raises "Timeouts.e_zto_series t0=0"
+    (Invalid_argument "Timeouts.e_zto_series: t0 must be positive") (fun () ->
+      ignore (Timeouts.e_zto_series ~t0:0. 0.1))
+
+let test_guard_sweep () =
+  List.iter
+    (fun (msg, f) -> rejects msg f)
+    [
+      ("Full_model.send_rate p=1", fun () ->
+        ignore (Full_model.send_rate default_params 1.));
+      ("Full_model.window_limited p=0", fun () ->
+        ignore (Full_model.window_limited default_params 0.));
+      ("Full_model.timeout_fraction p=1", fun () ->
+        ignore (Full_model.timeout_fraction default_params 1.));
+      ("Approx_model.send_rate p=0", fun () ->
+        ignore (Approx_model.send_rate default_params 0.));
+      ("Model.send_rate p=0", fun () ->
+        ignore (Model.send_rate Model.Full default_params 0.));
+      ("Qhat.h p=0", fun () -> ignore (Qhat.h ~p:0. 4));
+      ("Qhat.eval p=1", fun () -> ignore (Qhat.eval Qhat.Closed ~p:1. 4.));
+      ("Throughput.throughput p=0", fun () ->
+        ignore (Throughput.throughput default_params 0.));
+      ("Throughput.delivery_ratio p=1", fun () ->
+        ignore (Throughput.delivery_ratio default_params 1.));
+      ("Timeouts.e_zto p=0", fun () -> ignore (Timeouts.e_zto ~t0:2. 0.));
+      ("Tdonly.e_a p=0", fun () -> ignore (Tdonly.e_a ~rtt:0.2 ~b:2 0.));
+      ("Tdonly.send_rate p=1", fun () ->
+        ignore (Tdonly.send_rate ~rtt:0.2 ~b:2 1.));
+      ("Tdonly.send_rate_capped p=0", fun () ->
+        ignore (Tdonly.send_rate_capped default_params 0.));
+      ("Inverse.tcp_friendly_rate p=0", fun () ->
+        ignore (Inverse.tcp_friendly_rate default_params 0.));
+      ("Inverse.tcp_friendly_rate_simple p=1", fun () ->
+        ignore (Inverse.tcp_friendly_rate_simple default_params 1.));
+    ]
+
+let test_tfrc_guards () =
+  let c = Tfrc.Controller.create () in
+  Alcotest.check_raises "Tfrc equation_rate rtt=0"
+    (Invalid_argument "Tfrc.Controller.equation_rate: rtt must be positive")
+    (fun () -> ignore (Tfrc.Controller.equation_rate c 0.05 0.));
+  rejects "Tfrc equation_rate p=0" (fun () ->
+      ignore (Tfrc.Controller.equation_rate c 0. 0.2));
+  rejects "Tfrc equation_rate p=1" (fun () ->
+      ignore (Tfrc.Controller.equation_rate c 1. 0.2));
+  rejects "Tfrc on_rtt_sample rtt=0" (fun () ->
+      Tfrc.Controller.on_rtt_sample c 0.);
+  (* A valid call right at the guard boundary still works. *)
+  let r = Tfrc.Controller.equation_rate c 0.05 0.2 in
+  Alcotest.(check bool) "valid call finite" true (Float.is_finite r && r > 0.)
+
 (* --- Property tests ------------------------------------------------------------------------------------ *)
 
 let gen_p = QCheck.float_range 1e-4 0.9
@@ -751,6 +821,12 @@ let () =
           case "name roundtrip" test_model_names_roundtrip;
           case "aliases" test_model_aliases;
           case "all evaluate" test_all_models_evaluate;
+        ] );
+      ( "domain-guards",
+        [
+          case "pinned messages" test_guard_messages;
+          case "entry-point sweep" test_guard_sweep;
+          case "tfrc controller" test_tfrc_guards;
         ] );
       ("properties", props);
     ]

@@ -52,7 +52,7 @@ let test_table2_internal_consistency () =
   List.iter
     (fun r ->
       let parts =
-        r.Table2_data.td + Array.fold_left ( + ) 0 r.Table2_data.to_counts
+        r.Table2_data.td + List.fold_left ( + ) 0 r.Table2_data.to_counts
       in
       let gap = abs (r.Table2_data.loss_indications - parts) in
       Alcotest.(check bool)

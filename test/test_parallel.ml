@@ -67,6 +67,21 @@ let test_invalid_jobs () =
     (Invalid_argument "Pftk_parallel.init: n must be >= 0") (fun () ->
       ignore (init ~jobs:2 (-1) Fun.id))
 
+let test_jobs_exceed_items () =
+  (* More workers than work: [run] clamps the pool to [n] domains, so
+     oversubscribed calls must neither hang nor drop items. *)
+  Alcotest.(check (list int))
+    "map jobs:16 over 3 items" [ 2; 3; 4 ]
+    (map ~jobs:16 succ [ 1; 2; 3 ]);
+  Alcotest.(check (list int))
+    "mapi jobs:8 over 2 items" [ 10; 21 ]
+    (mapi ~jobs:8 (fun i x -> (10 * i) + x) [ 10; 11 ]);
+  Alcotest.(check (array int))
+    "init jobs:8 over 1 slot" [| 5 |]
+    (init ~jobs:8 1 (fun _ -> 5));
+  Alcotest.(check (array int)) "init jobs:8 over 0 slots" [||]
+    (init ~jobs:8 0 Fun.id)
+
 let test_pool_direct () =
   let pool = Pool.create ~size:3 in
   let cells = Array.make 20 0 in
@@ -129,6 +144,7 @@ let () =
           case "jobs:1 sequential" test_jobs_one_is_sequential;
           case "exception propagation" test_exception_propagation;
           case "invalid arguments" test_invalid_jobs;
+          case "jobs exceed items" test_jobs_exceed_items;
           case "pool direct use" test_pool_direct;
         ] );
       ( "determinism",

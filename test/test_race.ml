@@ -1,0 +1,302 @@
+(* Tests for the pftk-race typed analyzer (tools/lint): fixtures are
+   compiled to .cmt/.cmti with the toolchain's own ocamlc (-bin-annot)
+   in a throwaway root laid out like the workspace, then fed to
+   [Pftk_race_engine.analyze_paths].  One triggering fixture per rule
+   R1-R4, suppressed fixtures for the [@lint.allow] escape hatch, zone
+   checks, and an end-to-end exit-code check of the pftk_race CLI. *)
+
+module Race = Pftk_race_engine
+module Lint = Pftk_lint_engine
+
+let case name f = Alcotest.test_case name `Quick f
+let rules fs = List.map (fun (f : Lint.finding) -> f.Lint.rule) fs
+
+let check_rules msg expected fs =
+  Alcotest.(check (list string)) msg expected (rules fs)
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+(* The compiler that built us: Config.standard_library is
+   <prefix>/lib/ocaml, so ocamlc lives two levels up in <prefix>/bin;
+   fall back to PATH lookup for unusual layouts. *)
+let ocamlc =
+  lazy
+    (let prefix =
+       Filename.dirname (Filename.dirname Config.standard_library)
+     in
+     let candidate =
+       Filename.concat (Filename.concat prefix "bin") "ocamlc"
+     in
+     if Sys.file_exists candidate then candidate else "ocamlc")
+
+let fresh_root () =
+  let root = Filename.temp_file "pftk_race" "" in
+  Sys.remove root;
+  mkdir_p root;
+  root
+
+(* Write each (relative path, contents) fixture under [root] and compile
+   it from [root] so the recorded source file stays workspace-relative
+   ("lib/core/fixture.ml"), which is what the zone rules key on. *)
+let compile_fixtures root fixtures =
+  List.iter
+    (fun (rel, contents) ->
+      let path = Filename.concat root rel in
+      mkdir_p (Filename.dirname path);
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc)
+    fixtures;
+  let cwd = Sys.getcwd () in
+  Sys.chdir root;
+  let failed =
+    List.exists
+      (fun (rel, _) ->
+        Sys.command
+          (Filename.quote_command (Lazy.force ocamlc)
+             [ "-bin-annot"; "-w"; "-a"; "-c"; rel ])
+        <> 0)
+      fixtures
+  in
+  Sys.chdir cwd;
+  if failed then Alcotest.fail "fixture did not compile"
+
+let analyze fixtures =
+  let root = fresh_root () in
+  compile_fixtures root fixtures;
+  Race.analyze_paths [ root ]
+
+(* A stand-in for the real fan-out API: the trigger test keys on the
+   dotted path [Pftk_parallel.map] / [Pool.submit] at the call site, so
+   a local module of the same name exercises the rule without linking
+   the parallel library into the fixture. *)
+let parallel_stub =
+  "module Pftk_parallel = struct\n\
+  \  let map ~jobs f xs =\n\
+  \    ignore jobs;\n\
+  \    List.map f xs\n\
+   end\n"
+
+(* --- R1: mutable capture in a parallel closure ----------------------------- *)
+
+let test_r1_mutable_capture () =
+  let findings =
+    analyze
+      [
+        ( "lib/experiments/r1_trigger.ml",
+          parallel_stub
+          ^ "let hits = ref 0\n\
+             let burst xs =\n\
+            \  Pftk_parallel.map ~jobs:2 (fun x -> incr hits; x + !hits) xs\n"
+        );
+      ]
+  in
+  check_rules "ref captured by fan-out closure" [ "R1" ] findings;
+  match findings with
+  | [ f ] ->
+      Alcotest.(check bool)
+        "finding names the captured ident" true
+        (String.length f.Lint.message > 0
+        && f.Lint.line > 0
+        && Filename.basename f.Lint.file = "r1_trigger.ml")
+  | _ -> Alcotest.fail "expected a single finding"
+
+let test_r1_pool_submit () =
+  check_rules "array captured by Pool.submit task" [ "R1" ]
+    (analyze
+       [
+         ( "lib/experiments/r1_pool.ml",
+           "module Pool = struct\n\
+           \  let submit _pool task = task ()\n\
+            end\n\
+            let cells = Array.make 4 0\n\
+            let go pool = Pool.submit pool (fun () -> cells.(0) <- 1)\n" );
+       ])
+
+let test_r1_allow () =
+  check_rules "scoped [@lint.allow \"R1\"] suppresses" []
+    (analyze
+       [
+         ( "lib/experiments/r1_allowed.ml",
+           parallel_stub
+           ^ "let hits = ref 0\n\
+              let burst xs =\n\
+             \  Pftk_parallel.map ~jobs:2\n\
+             \    ((fun x -> incr hits; x + !hits) [@lint.allow \"R1\"])\n\
+             \    xs\n" );
+       ])
+
+let test_r1_clean () =
+  check_rules "immutable captures pass" []
+    (analyze
+       [
+         ( "lib/experiments/r1_clean.ml",
+           parallel_stub
+           ^ "let scale = 3\n\
+              let burst xs = Pftk_parallel.map ~jobs:2 (fun x -> x * scale) xs\n"
+         );
+       ])
+
+(* --- R2: exported mutable values ------------------------------------------- *)
+
+let test_r2_mutable_export () =
+  check_rules "val cache : int array in a lib interface" [ "R2" ]
+    (analyze [ ("lib/core/r2_trigger.mli", "val cache : int array\n") ]);
+  check_rules "record with a mutable field, transitively" [ "R2" ]
+    (analyze
+       [
+         ( "lib/netsim/r2_record.mli",
+           "type t = { mutable n : int }\nval shared : t\n" );
+       ]);
+  check_rules "immutable exports pass" []
+    (analyze
+       [
+         ( "lib/core/r2_clean.mli",
+           "val x : int\nval f : float -> float\nval xs : float list\n" );
+       ])
+
+(* --- R3: typed polymorphic-comparison ban ---------------------------------- *)
+
+let test_r3_poly_compare () =
+  check_rules "compare on floats in lib/core" [ "R3" ]
+    (analyze
+       [
+         ( "lib/core/r3_trigger.ml",
+           "let order (a : float) (b : float) = compare a b\n" );
+       ]);
+  check_rules "an alias of (=) is caught at the binding" [ "R3" ]
+    (analyze
+       [
+         ("lib/core/r3_alias.ml", "let eq : float -> float -> bool = ( = )\n");
+       ]);
+  check_rules "Float.compare is the blessed spelling" []
+    (analyze
+       [
+         ( "lib/core/r3_clean.ml",
+           "let order (a : float) b = Float.compare a b\n\
+            let lt (a : float) b = a < b\n" );
+       ]);
+  check_rules "poly compare allowed outside lib/core and lib/stats" []
+    (analyze
+       [ ("lib/tcp/r3_zone.ml", "let order (a : float) b = compare a b\n") ])
+
+(* --- R4: domain checks at lib/core entry points ----------------------------- *)
+
+let test_r4_unguarded () =
+  check_rules "rtt and p both unguarded" [ "R4"; "R4" ]
+    (analyze
+       [
+         ( "lib/core/r4_trigger.ml",
+           "let send_rate ~rtt p = 1. /. (rtt *. sqrt p)\n" );
+       ])
+
+let test_r4_guarded () =
+  check_rules "check_p call plus raising if satisfy the rule" []
+    (analyze
+       [
+         ( "lib/core/r4_guarded.ml",
+           "let check_p p =\n\
+           \  if p <= 0. || p >= 1. then invalid_arg \"p outside (0, 1)\"\n\
+            let send_rate ~rtt p =\n\
+           \  check_p p;\n\
+           \  if not (rtt > 0.) then invalid_arg \"rtt must be positive\";\n\
+           \  1. /. (rtt *. sqrt p)\n" );
+       ])
+
+let test_r4_zone_and_allow () =
+  check_rules "same signature outside lib/core passes" []
+    (analyze
+       [
+         ( "lib/stats/r4_zone.ml",
+           "let send_rate ~rtt p = 1. /. (rtt *. sqrt p)\n" );
+       ]);
+  check_rules "binding-scoped allow suppresses" []
+    (analyze
+       [
+         ( "lib/core/r4_allowed.ml",
+           "let send_rate ~rtt p = 1. /. (rtt *. sqrt p)\n\
+            [@@lint.allow \"R4\"]\n" );
+       ])
+
+(* --- cmt discovery ----------------------------------------------------------- *)
+
+let test_cmt_files () =
+  let root = fresh_root () in
+  Alcotest.(check (list string)) "no artifacts, no files" []
+    (Race.cmt_files [ root ]);
+  compile_fixtures root [ ("lib/core/disc.ml", "let x = 1\n") ];
+  Alcotest.(check int)
+    "one compiled fixture, one cmt" 1
+    (List.length (Race.cmt_files [ root ]))
+
+(* --- CLI exit codes ----------------------------------------------------------- *)
+
+(* The test binary runs from _build/default/test, so the CLI (a declared
+   dune dependency) sits next door under tools/lint. *)
+let cli = Filename.concat ".." (Filename.concat "tools/lint" "pftk_race.exe")
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1))
+  in
+  go 0
+
+let run_cli args =
+  let out = Filename.temp_file "pftk_race_cli" ".out" in
+  let status =
+    Sys.command (Filename.quote_command cli args ~stdout:out ~stderr:out)
+  in
+  let ic = open_in out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (status, text)
+
+let test_cli () =
+  if not (Sys.file_exists cli) then
+    Alcotest.fail "pftk_race.exe not found next to the test binary";
+  let dirty = fresh_root () in
+  compile_fixtures dirty
+    [
+      ( "lib/experiments/cli_fixture.ml",
+        parallel_stub
+        ^ "let hits = ref 0\n\
+           let burst xs = Pftk_parallel.map ~jobs:2 (fun _ -> incr hits) xs\n"
+      );
+    ];
+  let status, text = run_cli [ dirty ] in
+  Alcotest.(check int) "dirty tree exits 1" 1 status;
+  Alcotest.(check bool) "report carries the rule tag" true
+    (contains text "[R1]");
+  let status_json, json = run_cli [ "--format=json"; dirty ] in
+  Alcotest.(check int) "json format keeps the exit code" 1 status_json;
+  Alcotest.(check bool) "json mentions the rule" true
+    (contains json {|"rule":"R1"|});
+  let clean = fresh_root () in
+  compile_fixtures clean [ ("lib/core/cli_clean.ml", "let x = 1\n") ];
+  let status_clean, _ = run_cli [ clean ] in
+  Alcotest.(check int) "clean tree exits 0" 0 status_clean
+
+let () =
+  Alcotest.run "pftk_race"
+    [
+      ( "rules",
+        [
+          case "R1 mutable capture" test_r1_mutable_capture;
+          case "R1 Pool.submit" test_r1_pool_submit;
+          case "R1 lint.allow" test_r1_allow;
+          case "R1 clean closure" test_r1_clean;
+          case "R2 exported mutable state" test_r2_mutable_export;
+          case "R3 typed poly compare" test_r3_poly_compare;
+          case "R4 unguarded entry point" test_r4_unguarded;
+          case "R4 guarded entry point" test_r4_guarded;
+          case "R4 zone and allow" test_r4_zone_and_allow;
+          case "cmt discovery" test_cmt_files;
+        ] );
+      ("cli", [ case "exit codes and formats" test_cli ]);
+    ]

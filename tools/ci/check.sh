@@ -1,0 +1,28 @@
+#!/bin/sh
+# One-command local CI for the pftk repo.  Runs, in order:
+#
+#   1. dune build          -- compiles everything at -warn-error +a and,
+#                             via the default alias, runs the @lint
+#                             (pftk-lint, rules L1-L5) and @race
+#                             (pftk-race, rules R1-R4) analyzers
+#   2. dune runtest        -- every alcotest/qcheck suite
+#   3. dune build --profile release
+#                          -- the optimized build the benchmarks use
+#
+# Exits non-zero at the first failure.  Run from anywhere inside the
+# workspace; dune locates the project root itself.
+
+set -eu
+
+say() { printf '== %s\n' "$*"; }
+
+say "dune build (default alias: compile + @lint + @race)"
+dune build
+
+say "dune runtest"
+dune runtest
+
+say "dune build --profile release"
+dune build --profile release
+
+say "all checks passed"

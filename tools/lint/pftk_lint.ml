@@ -1,10 +1,30 @@
 (* Command-line front end: [pftk_lint DIR...] lints every .ml under the
    given roots (default: lib bin bench examples), prints findings as
-   file:line:col [rule] message, and exits non-zero if any survive. *)
+   file:line:col [rule] message (or a JSON array with --format=json),
+   and exits non-zero if any survive. *)
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--format=json" args in
+  let bad =
+    List.filter
+      (fun a ->
+        String.length a >= 2
+        && String.sub a 0 2 = "--"
+        && a <> "--format=json" && a <> "--format=text")
+      args
+  in
+  (match bad with
+  | [] -> ()
+  | b :: _ ->
+      Printf.eprintf "pftk-lint: unknown option %s\n" b;
+      exit 2);
   let roots =
-    match List.tl (Array.to_list Sys.argv) with
+    match
+      List.filter
+        (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        args
+    with
     | [] -> [ "lib"; "bin"; "bench"; "examples" ]
     | roots -> roots
   in
@@ -12,7 +32,8 @@ let () =
   List.iter (Printf.eprintf "pftk-lint: warning: no such directory: %s\n") missing;
   let roots = List.filter Sys.file_exists roots in
   let findings = Pftk_lint_engine.lint_dirs roots in
-  List.iter (Format.printf "%a@." Pftk_lint_engine.pp_finding) findings;
+  if json then Format.printf "%a@." Pftk_lint_engine.pp_findings_json findings
+  else List.iter (Format.printf "%a@." Pftk_lint_engine.pp_finding) findings;
   match findings with
   | [] ->
       Printf.eprintf "pftk-lint: clean (%s)\n" (String.concat " " roots);

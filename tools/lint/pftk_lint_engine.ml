@@ -20,6 +20,33 @@ type finding = {
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_findings_json ppf fs =
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i f ->
+      Format.fprintf ppf "%s@\n  " (if i = 0 then "" else ",");
+      Format.fprintf ppf
+        {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+        (json_escape f.file) f.line f.col (json_escape f.rule)
+        (json_escape f.message))
+    fs;
+  Format.fprintf ppf "%s]" (if fs = [] then "" else "\n")
+
 let compare_findings a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c
@@ -28,7 +55,10 @@ let compare_findings a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
 
 (* --- Path zones ----------------------------------------------------------- *)
 

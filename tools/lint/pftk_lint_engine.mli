@@ -36,6 +36,24 @@ type finding = {
 val pp_finding : Format.formatter -> finding -> unit
 (** Renders as [file:line:col [rule] message]. *)
 
+val pp_findings_json : Format.formatter -> finding list -> unit
+(** Renders the findings as a JSON array, one object per finding with
+    fields [file], [line], [col], [rule], [message] — the [--format=json]
+    output consumed by CI and editor integrations. *)
+
+val compare_findings : finding -> finding -> int
+(** Orders by file, then line, then column, then rule. *)
+
+val under : root:string -> string -> bool
+(** [under ~root path]: is [path] inside directory [root], whether given
+    workspace-relative or absolute? Shared zone test for both analysis
+    engines. *)
+
+val allows_of_attrs : Parsetree.attributes -> string list
+(** Rule names listed in [[@lint.allow "..."]] attributes (space- or
+    comma-separated). Exposed so the typed engine (pftk-race) honours the
+    same escape hatch; Typedtree attributes are Parsetree attributes. *)
+
 val lint_source : path:string -> string -> finding list
 (** [lint_source ~path src] lints one compilation unit given its source
     text. [path] decides which rules apply (e.g. only [lib/core] and

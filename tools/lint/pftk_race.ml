@@ -1,0 +1,59 @@
+(* Command-line front end: [pftk_race DIR...] runs the typed R1-R4
+   analysis over every .cmt/.cmti under the given roots (default:
+   lib bin bench examples). Roots are looked up both as given and under
+   _build/default, so the tool works from the build context (the @race
+   rule) and from the source root (developers, the bench gate). Prints
+   findings as file:line:col [rule] message, or a JSON array with
+   --format=json, and exits non-zero if any survive. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--format=json" args in
+  let bad =
+    List.filter
+      (fun a ->
+        String.length a >= 2
+        && String.sub a 0 2 = "--"
+        && a <> "--format=json" && a <> "--format=text")
+      args
+  in
+  (match bad with
+  | [] -> ()
+  | b :: _ ->
+      Printf.eprintf "pftk-race: unknown option %s\n" b;
+      exit 2);
+  let roots =
+    match
+      List.filter
+        (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        args
+    with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | roots -> roots
+  in
+  let expand r =
+    let built = Filename.concat (Filename.concat "_build" "default") r in
+    (if Sys.file_exists r then [ r ] else [])
+    @ if Sys.file_exists built then [ built ] else []
+  in
+  let paths = List.concat_map expand roots in
+  let cmts = Pftk_race_engine.cmt_files paths in
+  if cmts = [] then begin
+    Printf.eprintf
+      "pftk-race: no .cmt/.cmti files under %s (run `dune build @check` \
+       first)\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  let findings = Pftk_race_engine.analyze_paths paths in
+  if json then Format.printf "%a@." Pftk_lint_engine.pp_findings_json findings
+  else
+    List.iter (Format.printf "%a@." Pftk_lint_engine.pp_finding) findings;
+  match findings with
+  | [] ->
+      Printf.eprintf "pftk-race: clean (%d compilation units)\n"
+        (List.length cmts);
+      exit 0
+  | _ :: _ ->
+      Printf.eprintf "pftk-race: %d finding(s)\n" (List.length findings);
+      exit 1

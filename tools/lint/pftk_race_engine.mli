@@ -1,0 +1,47 @@
+(** Typed, cross-module analysis over the [.cmt]/[.cmti] files dune
+    emits ([dune build @check] produces them as a side effect of every
+    build). Where pftk-lint (L1-L5) walks the Parsetree, this engine
+    loads [Cmt_format] binary annotations and walks the Typedtree, so it
+    sees through aliases, inferred types and module boundaries:
+
+    - [R1] a closure passed to [Pftk_parallel.map]/[mapi]/[init] or
+      [Pool.submit] must not capture a free identifier whose type
+      contains mutable structure ([ref], [array], [bytes], [Hashtbl.t],
+      [Buffer.t], [Queue.t], records with [mutable] fields — computed
+      transitively from every type declaration loaded in the run).
+      Shared mutable captures are exactly the races the domain-parallel
+      fan-out contract forbids.
+    - [R2] no [lib/*] interface may export a toplevel value of mutable
+      type: a [val cache : (k, v) Hashtbl.t] is cross-module shared
+      state that R1 could never see from the capture site alone.
+    - [R3] the polymorphic-comparison ban (L1) re-checked on the
+      Typedtree: any use, in [lib/core] or [lib/stats], of an external
+      value whose type scheme is ['a -> 'a -> bool/int/'a] — this
+      catches [Stdlib.compare], aliases and functor-instantiated
+      comparators that the syntactic rule misses.
+    - [R4] every exported [lib/core] entry point taking a probability or
+      duration parameter (named [p], [rtt] or [t0], of type [float])
+      must domain-check it before first use: a [check*]/[validate] call
+      or an [invalid_arg]/[failwith] guard mentioning the parameter (or
+      a let-bound value built from it) in the function's guard prefix.
+      Shallow and function-local by design, not full dataflow.
+
+    Findings use the pftk-lint format and honour the same scoped
+    [[@lint.allow "R1"]] escape hatch on expressions, value bindings and
+    (for R2) interface declarations.
+
+    The analyzer keeps run-wide state (the cross-module type-declaration
+    table); it is not thread-safe. *)
+
+val cmt_files : string list -> string list
+(** The [.cmt]/[.cmti] files the analyzer would load under the given
+    paths (sorted, deduplicated). Lets callers distinguish "clean tree"
+    from "nothing was analyzed because no build artefacts exist". *)
+
+val analyze_paths : string list -> Pftk_lint_engine.finding list
+(** [analyze_paths paths] loads every [.cmt]/[.cmti] found under the
+    given paths (directories are walked recursively, including the
+    dot-directories dune hides object files in; plain file paths are
+    taken as-is), builds the cross-module type-declaration table, then
+    runs R1-R4. Findings are sorted by file, then position, and
+    deduplicated. *)
