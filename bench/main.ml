@@ -62,6 +62,10 @@ let artifacts ~quick ~jobs =
         Experiments.Validation.(
           print ppf (generate ~duration:(if quick then 300. else 900.) ~jobs ()))
     );
+    ( "convergence",
+      fun () ->
+        Experiments.Convergence.(
+          print ppf (generate ~seed ~duration:hour ~jobs ())) );
     ( "window-dist",
       fun () ->
         Experiments.Window_dist.(
@@ -129,10 +133,52 @@ let tree_is_clean () =
   let race = tree_is_race_clean () in
   lint && race
 
-let write_timings_json ~path ~quick ~jobs timings =
+(* --- Streaming throughput: events/second through the online estimators ---- *)
+
+(* One recorded trace, replayed repeatedly through each streaming consumer.
+   Results go to stderr and BENCH_results.json only — throughput numbers
+   are machine-dependent and must not disturb the byte-comparable
+   stdout. *)
+let streaming_benchmark ~quick =
+  let duration = if quick then 600. else 3600. in
+  let params = Params.make ~rtt:0.2 ~t0:2. () in
+  let recorder = Pftk_trace.Recorder.create () in
+  let rng = Pftk_stats.Rng.create ~seed:7L () in
+  let loss = Pftk_loss.Loss_process.round_correlated rng ~p:0.02 in
+  ignore
+    (Pftk_tcp.Round_sim.run ~seed:7L ~recorder ~duration ~loss
+       (Pftk_tcp.Round_sim.config_of_params params)
+      : Pftk_tcp.Round_sim.result);
+  let events = Pftk_trace.Recorder.length recorder in
+  let rate name feed =
+    let reps = ref 0 in
+    let start = Unix.gettimeofday () in
+    let elapsed = ref 0. in
+    while !elapsed < 0.5 do
+      feed ();
+      incr reps;
+      elapsed := Unix.gettimeofday () -. start
+    done;
+    (name, float_of_int (events * !reps) /. !elapsed)
+  in
+  [
+    rate "summary-ground-truth" (fun () ->
+        let s = Pftk_online.Summary.create () in
+        Pftk_trace.Recorder.iter (Pftk_online.Summary.push s) recorder);
+    rate "summary-infer" (fun () ->
+        let s = Pftk_online.Summary.create ~mode:`Infer () in
+        Pftk_trace.Recorder.iter (Pftk_online.Summary.push s) recorder);
+    rate "predictor" (fun () ->
+        let predictor = Pftk_online.Predictor.create params in
+        Pftk_trace.Recorder.iter
+          (Pftk_online.Predictor.push predictor)
+          recorder);
+  ]
+
+let write_timings_json ~path ~quick ~jobs ~streaming timings =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pftk-bench-v1\",\n";
+  Printf.fprintf oc "  \"schema\": \"pftk-bench-v2\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"artifacts\": [\n";
@@ -143,6 +189,15 @@ let write_timings_json ~path ~quick ~jobs timings =
         seconds
         (if i = n - 1 then "" else ","))
     timings;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"streaming\": [\n";
+  let n = List.length streaming in
+  List.iteri
+    (fun i (name, events_per_second) ->
+      Printf.fprintf oc "    { \"name\": %S, \"events_per_second\": %.0f }%s\n"
+        name events_per_second
+        (if i = n - 1 then "" else ","))
+    streaming;
   Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"part1_total_seconds\": %.6f\n"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
@@ -169,9 +224,16 @@ let regenerate ~quick ~jobs =
     timings;
   Format.fprintf err "%-12s %9.3f s@." "total"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
+  let streaming = streaming_benchmark ~quick in
+  Format.fprintf err "# Streaming estimators (single domain)@.";
+  List.iter
+    (fun (name, events_per_second) ->
+      Format.fprintf err "%-22s %12.0f events/s@." name events_per_second)
+    streaming;
   Format.pp_print_flush err ();
   if tree_is_clean () then
-    write_timings_json ~path:"BENCH_results.json" ~quick ~jobs timings
+    write_timings_json ~path:"BENCH_results.json" ~quick ~jobs ~streaming
+      timings
   else
     Format.fprintf err
       "# BENCH_results.json not written: tree fails pftk-lint/pftk-race@."

@@ -21,7 +21,11 @@ let b_arg =
   Arg.(value & opt int 2 & info [ "b"; "ack-factor" ] ~docv:"N" ~doc)
 
 let wm_arg =
-  let doc = "Receiver-advertised maximum window, packets (0 = unlimited)." in
+  let doc =
+    "Receiver-advertised maximum window, packets.  $(docv) = 0 (the \
+     default) means unlimited: the window-limit term of eq. (31)/(32) is \
+     disabled and the models reduce to their unconstrained forms."
+  in
   Arg.(value & opt int 0 & info [ "wm" ] ~docv:"PACKETS" ~doc)
 
 let p_arg =
@@ -70,6 +74,27 @@ let parse_model name =
   match Model.of_name name with
   | Some kind -> kind
   | None -> failwith (Printf.sprintf "unknown model %S" name)
+
+(* Trace files come from users; fail with a message and a nonzero exit
+   instead of a backtrace when one is unreadable, malformed, or empty. *)
+let fail_trace path msg : 'a =
+  Format.eprintf "pftk: cannot use trace file %s: %s@." path msg;
+  exit 1
+
+let load_trace path =
+  match Pftk_trace.Serialize.load path with
+  | recorder ->
+      if Pftk_trace.Recorder.length recorder = 0 then
+        fail_trace path "trace contains no events"
+      else recorder
+  | exception Sys_error msg -> fail_trace path msg
+  | exception Failure msg -> fail_trace path msg
+
+let iter_trace path f =
+  match Pftk_trace.Serialize.iter_file path f with
+  | () -> ()
+  | exception Sys_error msg -> fail_trace path msg
+  | exception Failure msg -> fail_trace path msg
 
 (* --- rate / throughput / inverse / sweep -------------------------------- *)
 
@@ -195,11 +220,31 @@ let simulate_cmd =
     let doc = "Write the trace to $(docv) (pftk text format)." in
     Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE" ~doc)
   in
-  let run rtt t0 b wm p seed duration dump =
+  let live_arg =
+    let doc =
+      "Attach a live predictor: print the streaming estimates and the \
+       model's prediction at every 100-s checkpoint as the simulation \
+       runs."
+    in
+    Arg.(value & flag & info [ "live" ] ~doc)
+  in
+  let run rtt t0 b wm p seed duration dump live =
     let params = make_params ~rtt ~t0 ~b ~wm in
     let rng = Pftk_stats.Rng.create ~seed () in
     let loss = Pftk_loss.Loss_process.round_correlated rng ~p in
-    let recorder = Pftk_trace.Recorder.create () in
+    (* Buffering is only needed to dump the trace afterwards; the live
+       predictor consumes events as a recorder subscriber either way. *)
+    let recorder =
+      Pftk_trace.Recorder.create ~buffered:(Option.is_some dump) ()
+    in
+    if live then begin
+      let predictor =
+        Pftk_online.Predictor.create params ~on_snapshot:(fun s ->
+            Format.fprintf ppf "%a@." Pftk_online.Predictor.pp_snapshot s)
+      in
+      Pftk_trace.Recorder.subscribe recorder
+        (Pftk_online.Predictor.sink predictor)
+    end;
     let result =
       Pftk_tcp.Round_sim.run ~seed ~recorder ~duration ~loss
         (Pftk_tcp.Round_sim.config_of_params params)
@@ -226,7 +271,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ p_arg $ seed_arg
-      $ duration_arg $ dump_arg)
+      $ duration_arg $ dump_arg $ live_arg)
 
 let analyze_cmd =
   let trace_arg =
@@ -236,7 +281,7 @@ let analyze_cmd =
   let run seed quick trace =
     match trace with
     | Some path ->
-        let recorder = Pftk_trace.Serialize.load path in
+        let recorder = load_trace path in
         let summary = Pftk_trace.Analyzer.summarize recorder in
         Format.fprintf ppf "%s: %a@." path Pftk_trace.Analyzer.pp_summary summary
     | None ->
@@ -269,6 +314,66 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ seed_arg $ quick_arg $ trace_arg)
+
+let live_cmd =
+  let duration_arg =
+    let doc = "Simulated duration, seconds." in
+    Arg.(value & opt float 600. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let interval_arg =
+    let doc = "Checkpoint spacing, seconds." in
+    Arg.(value & opt float 100. & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Replay a saved trace file through the live predictor instead of \
+       simulating (streaming: the file is never loaded whole)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let infer_arg =
+    let doc =
+      "Infer loss indications from sends and ACKs alone (packet-trace \
+       mode) instead of using the sender's own timer events."
+    in
+    Arg.(value & flag & info [ "infer" ] ~doc)
+  in
+  let run rtt t0 b wm p seed duration interval trace infer =
+    let params = make_params ~rtt ~t0 ~b ~wm in
+    let mode = if infer then `Infer else `Ground_truth in
+    let predictor =
+      Pftk_online.Predictor.create ~mode ~interval params ~on_snapshot:(fun s ->
+          Format.fprintf ppf "%a@." Pftk_online.Predictor.pp_snapshot s)
+    in
+    let sink = Pftk_online.Predictor.sink predictor in
+    (match trace with
+    | Some path ->
+        let count = Pftk_online.Sink.counter () in
+        iter_trace path (Pftk_online.Sink.counting count sink);
+        if Pftk_online.Sink.events count = 0 then
+          fail_trace path "trace contains no events"
+    | None ->
+        let rng = Pftk_stats.Rng.create ~seed () in
+        let loss = Pftk_loss.Loss_process.round_correlated rng ~p in
+        let recorder = Pftk_trace.Recorder.create ~buffered:false () in
+        Pftk_trace.Recorder.subscribe recorder sink;
+        ignore
+          (Pftk_tcp.Round_sim.run ~seed ~recorder ~duration ~loss
+             (Pftk_tcp.Round_sim.config_of_params params)
+            : Pftk_tcp.Round_sim.result));
+    Format.fprintf ppf "final: %a@." Pftk_online.Predictor.pp_snapshot
+      (Pftk_online.Predictor.snapshot predictor);
+    Format.fprintf ppf "summary: %a@." Pftk_trace.Analyzer.pp_summary
+      (Pftk_online.Predictor.summary predictor)
+  in
+  let doc =
+    "Stream a connection (simulated, or a saved trace) through the online \
+     estimators, printing predicted vs observed rate at every checkpoint."
+  in
+  Cmd.v (Cmd.info "live" ~doc)
+    Term.(
+      const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ p_arg $ seed_arg
+      $ duration_arg $ interval_arg $ trace_arg $ infer_arg)
 
 (* --- experiment drivers --------------------------------------------------- *)
 
@@ -353,7 +458,7 @@ let timeline_cmd =
   let run seed trace =
     let recorder =
       match trace with
-      | Some path -> Pftk_trace.Serialize.load path
+      | Some path -> load_trace path
       | None ->
           let rng = Pftk_stats.Rng.create ~seed () in
           let scenario =
@@ -393,6 +498,18 @@ let timeline_cmd =
     (Cmd.info "timeline"
        ~doc:"tcptrace-style views of a (simulated or saved) connection.")
     Term.(const run $ seed_arg $ trace_arg)
+
+let convergence_cmd =
+  let run seed quick jobs =
+    Pftk_experiments.Convergence.(
+      print ppf (generate ~seed ~duration:(hour_duration quick) ~jobs ()))
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:
+         "Streaming estimation over the Table II paths: when do the live \
+          estimates settle to the final summary?")
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
 
 let validate_cmd =
   let run seed quick jobs =
@@ -466,6 +583,8 @@ let all_cmd =
     Pftk_experiments.Fig13.(print ppf (generate ()));
     Pftk_experiments.Validation.(
       print ppf (generate ~seed ~duration:(if quick then 300. else 900.) ~jobs ()));
+    Pftk_experiments.Convergence.(
+      print ppf (generate ~seed ~duration:(hour_duration quick) ~jobs ()));
     Pftk_experiments.Window_dist.(
       print ppf
         (generate ~seed ~rounds:(if quick then 50_000 else 200_000) ~jobs ()));
@@ -504,6 +623,8 @@ let main_cmd =
       tfrc_cmd;
       simulate_cmd;
       analyze_cmd;
+      live_cmd;
+      convergence_cmd;
       table1_cmd;
       table2_cmd;
       fig7_cmd;

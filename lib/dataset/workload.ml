@@ -101,6 +101,19 @@ let run_with_calibration ~seed ~duration profile cal =
   in
   { profile; recorder; result }
 
+let run_observed ?(seed = 11L) ~duration ~sink profile =
+  let cal = calibrate ~seed profile in
+  let rng = Pftk_stats.Rng.create ~seed:(Int64.add seed 1L) () in
+  (* Unbuffered recorder: events flow straight to the subscribed sink, so
+     memory stays O(1) no matter how long the connection runs. *)
+  let recorder = Recorder.create ~buffered:false () in
+  Recorder.subscribe recorder sink;
+  let result =
+    Round_sim.run ~seed ~recorder ~duration ~loss:(loss_process rng cal)
+      (sim_config profile)
+  in
+  { profile; recorder; result }
+
 let run_for ?(seed = 11L) ~duration profile =
   let cal = calibrate ~seed profile in
   run_with_calibration ~seed ~duration profile cal

@@ -51,3 +51,15 @@ val batch_100s :
 
 val run_for : ?seed:int64 -> duration:float -> Path_profile.t -> trace
 (** Arbitrary-duration variant used by both of the above. *)
+
+val run_observed :
+  ?seed:int64 ->
+  duration:float ->
+  sink:(Pftk_trace.Event.t -> unit) ->
+  Path_profile.t ->
+  trace
+(** Like {!run_for}, but recorder-free: events stream to [sink] as the
+    simulation produces them and nothing is buffered (the returned
+    recorder is unbuffered).  With the same [seed], [sink] sees exactly
+    the event sequence {!run_for}'s recorder would hold, so feeding it a
+    [Pftk_online.Summary.sink] yields the same analysis in O(1) memory. *)

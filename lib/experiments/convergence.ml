@@ -1,0 +1,102 @@
+module Path_profile = Pftk_dataset.Path_profile
+module Workload = Pftk_dataset.Workload
+module Analyzer = Pftk_trace.Analyzer
+module Predictor = Pftk_online.Predictor
+
+type path_run = {
+  profile : Path_profile.t;
+  snapshots : Predictor.snapshot list;
+  final : Analyzer.summary;
+  final_prediction : Predictor.prediction option;
+  p_converged_at : float option;
+  rtt_converged_at : float option;
+}
+
+(* Earliest checkpoint from which the estimate stays within [tolerance]
+   relative of the final value for the rest of the connection (a single
+   early crossing does not count — the paper's point is that estimates
+   settle, not that they graze the target). *)
+let settled_at ~tolerance ~final ~value snapshots =
+  if not (final > 0.) then None
+  else begin
+    let ok s = Float.abs (value s -. final) <= tolerance *. final in
+    List.fold_left
+      (fun settled s ->
+        if ok s then
+          match settled with Some _ -> settled | None -> Some s.Predictor.time
+        else None)
+      None snapshots
+  end
+
+let run_path ~seed ~duration ~interval ~tolerance profile =
+  let snapshots = ref [] in
+  let predictor =
+    Predictor.create ~interval (Path_profile.params profile)
+      ~on_snapshot:(fun s -> snapshots := s :: !snapshots)
+  in
+  let (_ : Workload.trace) =
+    Workload.run_observed ~seed ~duration ~sink:(Predictor.sink predictor)
+      profile
+  in
+  let snapshots = List.rev !snapshots in
+  let final = Predictor.summary predictor in
+  let last = Predictor.snapshot predictor in
+  {
+    profile;
+    snapshots;
+    final;
+    final_prediction = last.Predictor.prediction;
+    p_converged_at =
+      settled_at ~tolerance ~final:final.Analyzer.observed_p
+        ~value:(fun s -> s.Predictor.p)
+        snapshots;
+    rtt_converged_at =
+      settled_at ~tolerance ~final:final.Analyzer.avg_rtt
+        ~value:(fun s -> s.Predictor.rtt)
+        snapshots;
+  }
+
+let generate ?(seed = 29L) ?(duration = 3600.) ?(interval = 100.)
+    ?(tolerance = 0.1) ?(jobs = 1) () =
+  if not (tolerance > 0.) then
+    invalid_arg "Convergence.generate: tolerance must be positive";
+  Pftk_parallel.mapi ~jobs
+    (fun i profile ->
+      run_path ~seed:(Int64.add seed (Int64.of_int i)) ~duration ~interval
+        ~tolerance profile)
+    Path_profile.all
+
+let opt_time = function
+  | Some t -> Printf.sprintf "%6.0f" t
+  | None -> "     -"
+
+let print ppf runs =
+  Report.heading ppf
+    "Streaming convergence: live estimates vs the final summary";
+  Format.fprintf ppf "%-6s %-12s %8s %8s %9s %9s %9s %9s@." "Sender" "Receiver"
+    "p_final" "rtt" "p_conv" "rtt_conv" "pred_full" "obs_rate";
+  List.iter
+    (fun r ->
+      let pred =
+        match r.final_prediction with
+        | Some { Predictor.full; _ } -> Printf.sprintf "%9.2f" full
+        | None -> "        -"
+      in
+      Format.fprintf ppf "%-6s %-12s %8.5f %8.4f %9s %9s %s %9.2f@."
+        r.profile.Path_profile.sender r.profile.Path_profile.receiver
+        r.final.Analyzer.observed_p r.final.Analyzer.avg_rtt
+        (opt_time r.p_converged_at)
+        (opt_time r.rtt_converged_at)
+        pred r.final.Analyzer.send_rate)
+    runs;
+  let timed = List.filter_map (fun r -> r.p_converged_at) runs in
+  (match timed with
+  | [] -> Format.fprintf ppf "@.No path's p estimate settled within tolerance.@."
+  | _ ->
+      let n = List.length timed in
+      let sum = List.fold_left ( +. ) 0. timed in
+      Format.fprintf ppf
+        "@.p settled within tolerance on %d of %d paths (mean settle time %.0f s).@."
+        n (List.length runs) (sum /. float_of_int n));
+  Format.fprintf ppf
+    "Each checkpoint re-evaluates eq. (31)/(32) and (33) from the running estimates.@."

@@ -1,0 +1,39 @@
+(** Streaming-estimation convergence over the Table II path catalog.
+
+    Each path runs one calibrated saturated connection with a
+    [Pftk_online.Predictor] attached recorder-free (no event buffering);
+    the predictor checkpoints the running estimates of [p], [RTT] and
+    [T0] and the model's predicted send rate every [interval] seconds —
+    the paper's 100-s slicing.  Per path, the experiment reports when the
+    live [p] and [RTT] estimates {e settle}: the earliest checkpoint from
+    which they stay within [tolerance] (relative) of the final
+    whole-connection summary. *)
+
+type path_run = {
+  profile : Pftk_dataset.Path_profile.t;
+  snapshots : Pftk_online.Predictor.snapshot list;  (** Chronological. *)
+  final : Pftk_trace.Analyzer.summary;
+      (** Streaming summary at end of connection (equal to the post-hoc
+          analyzer's, per the equivalence contract). *)
+  final_prediction : Pftk_online.Predictor.prediction option;
+  p_converged_at : float option;
+      (** Earliest checkpoint time from which the [p] estimate stays
+          within tolerance of the final value; [None] if it never
+          settles (or the final value is zero). *)
+  rtt_converged_at : float option;
+}
+
+val generate :
+  ?seed:int64 ->
+  ?duration:float ->
+  ?interval:float ->
+  ?tolerance:float ->
+  ?jobs:int ->
+  unit ->
+  path_run list
+(** Defaults: 3600-s connections, 100-s checkpoints, 10% relative
+    tolerance.  [jobs] worker domains run the paths in parallel; each
+    path seeds its own RNG stream from its index, so results do not
+    depend on [jobs]. *)
+
+val print : Format.formatter -> path_run list -> unit

@@ -1,0 +1,47 @@
+type t = { tau : float; mutable value : float; mutable last : float }
+
+let check_tau tau =
+  if not (tau > 0.) then invalid_arg "Decay: tau must be positive"
+
+let create ~tau () =
+  check_tau tau;
+  { tau; value = 0.; last = 0. }
+
+let age t ~time =
+  if time > t.last then begin
+    t.value <- t.value *. exp (-.(time -. t.last) /. t.tau);
+    t.last <- time
+  end
+
+let bump ?(weight = 1.) t ~time =
+  age t ~time;
+  t.value <- t.value +. weight
+
+let value t ~time =
+  age t ~time;
+  t.value
+
+let tau t = t.tau
+
+(* --- Decayed histogram ------------------------------------------------------ *)
+
+type hist = { h_tau : float; counters : t array }
+
+let create_hist ~tau ~buckets =
+  check_tau tau;
+  if buckets < 1 then invalid_arg "Decay.create_hist: buckets must be >= 1";
+  { h_tau = tau; counters = Array.init buckets (fun _ -> create ~tau ()) }
+
+let buckets h = Array.length h.counters
+
+let observe h ~time bucket =
+  if bucket < 0 || bucket >= Array.length h.counters then
+    invalid_arg "Decay.observe: bucket out of range";
+  bump h.counters.(bucket) ~time
+
+let read h ~time = Array.map (fun c -> value c ~time) h.counters
+
+let total h ~time =
+  Array.fold_left (fun acc c -> acc +. value c ~time) 0. h.counters
+
+let hist_tau h = h.h_tau

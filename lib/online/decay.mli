@@ -1,0 +1,34 @@
+(** Exponentially-decaying counters: event-rate estimation in O(1) state.
+
+    A counter holds [sum over events of exp(-(now - t_i) / tau)] — each
+    event contributes 1 that fades with time constant [tau].  The ratio of
+    two counters driven by the same clock (loss indications over packets)
+    is a decaying-window estimate of [p]; six counters make the decayed
+    backoff histogram ([T0..T5+] shares that track the recent mix rather
+    than the whole connection's).  Decay is applied lazily on access, so
+    idle periods cost nothing. *)
+
+type t
+
+val create : tau:float -> unit -> t
+(** Raises [Invalid_argument] when [tau <= 0.]. *)
+
+val bump : ?weight:float -> t -> time:float -> unit
+(** Add an event (default weight 1) at [time].  Timestamps must be
+    non-decreasing; earlier timestamps are treated as [time = last]. *)
+
+val value : t -> time:float -> float
+val tau : t -> float
+
+(** {1 Decayed histogram} *)
+
+type hist
+
+val create_hist : tau:float -> buckets:int -> hist
+val observe : hist -> time:float -> int -> unit
+(** Raises [Invalid_argument] when the bucket index is out of range. *)
+
+val read : hist -> time:float -> float array
+val total : hist -> time:float -> float
+val buckets : hist -> int
+val hist_tau : hist -> float

@@ -1,0 +1,121 @@
+module Event = Pftk_trace.Event
+module Analyzer = Pftk_trace.Analyzer
+
+type mode =
+  | Ground_truth
+  | Infer of { dup_ack_threshold : int; min_timeout_gap : float }
+
+let infer ?(dup_ack_threshold = 3) ?(min_timeout_gap = 0.15) () =
+  if dup_ack_threshold < 1 then
+    invalid_arg "Detector.infer: dup_ack_threshold must be >= 1";
+  if not (min_timeout_gap > 0.) then
+    invalid_arg "Detector.infer: min_timeout_gap must be positive";
+  Infer { dup_ack_threshold; min_timeout_gap }
+
+type t = {
+  mode : mode;
+  emit : Analyzer.indication -> unit;
+  (* Open timeout sequence: (start time, firing count, first gap). *)
+  mutable open_seq : (float * int * float) option;
+  mutable emitted : int;
+  (* Inference-mode duplicate-ACK and idle-gap state. *)
+  mutable highest_ack : int;
+  mutable dup_ack : int;
+  mutable dup_count : int;
+  mutable last_activity : float;
+}
+
+let create ?(on_indication = fun (_ : Analyzer.indication) -> ()) mode =
+  {
+    mode;
+    emit = on_indication;
+    open_seq = None;
+    emitted = 0;
+    highest_ack = -1;
+    dup_ack = -1;
+    dup_count = 0;
+    last_activity = 0.;
+  }
+
+let close t =
+  match t.open_seq with
+  | Some (at, count, first_timer) ->
+      t.open_seq <- None;
+      t.emitted <- t.emitted + 1;
+      t.emit (Analyzer.To { at; timeouts = count; first_timer })
+  | None -> ()
+
+let emit_td t at =
+  t.emitted <- t.emitted + 1;
+  t.emit (Analyzer.Td { at })
+
+(* Mirrors Analyzer.ground_truth_indications, one event at a time. *)
+let push_ground_truth t { Event.time; kind } =
+  match kind with
+  | Event.Fast_retransmit_triggered _ ->
+      close t;
+      emit_td t time
+  | Event.Timer_fired { backoff; rto } -> begin
+      match t.open_seq with
+      | Some (at, count, first_timer) when backoff = count + 1 ->
+          t.open_seq <- Some (at, count + 1, first_timer)
+      | _ ->
+          close t;
+          t.open_seq <- Some (time, 1, rto)
+    end
+  | Event.Ack_received _ | Event.Segment_sent _ | Event.Rtt_sample _
+  | Event.Round_started _ | Event.Connection_closed ->
+      ()
+
+(* Mirrors Analyzer.infer_indications, one event at a time. *)
+let push_infer t ~dup_ack_threshold ~min_timeout_gap { Event.time; kind } =
+  match kind with
+  | Event.Ack_received { ack } ->
+      if ack > t.highest_ack then begin
+        (* Cumulative progress ends any ongoing timeout sequence. *)
+        close t;
+        t.highest_ack <- ack;
+        t.dup_ack <- ack;
+        t.dup_count <- 0
+      end
+      else if ack = t.dup_ack then t.dup_count <- t.dup_count + 1
+      else begin
+        t.dup_ack <- ack;
+        t.dup_count <- 1
+      end;
+      t.last_activity <- time
+  | Event.Segment_sent { seq; retransmission; _ } ->
+      if retransmission then begin
+        let gap = time -. t.last_activity in
+        if seq = t.dup_ack && t.dup_count >= dup_ack_threshold then begin
+          close t;
+          emit_td t time;
+          t.dup_count <- 0
+        end
+        else if gap >= min_timeout_gap then begin
+          match t.open_seq with
+          | Some (at, count, first_timer) ->
+              t.open_seq <- Some (at, count + 1, first_timer)
+          | None -> t.open_seq <- Some (time, 1, gap)
+        end
+        (* else: recovery-burst retransmission, not a new indication *)
+      end;
+      t.last_activity <- time
+  | Event.Timer_fired _ | Event.Fast_retransmit_triggered _
+  | Event.Rtt_sample _ | Event.Round_started _ | Event.Connection_closed ->
+      ()
+
+let push t event =
+  match t.mode with
+  | Ground_truth -> push_ground_truth t event
+  | Infer { dup_ack_threshold; min_timeout_gap } ->
+      push_infer t ~dup_ack_threshold ~min_timeout_gap event
+
+let pending t =
+  match t.open_seq with
+  | Some (at, count, first_timer) ->
+      Some (Analyzer.To { at; timeouts = count; first_timer })
+  | None -> None
+
+let flush t = close t
+let emitted t = t.emitted

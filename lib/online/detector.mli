@@ -1,0 +1,42 @@
+(** Streaming loss-indication detector: the single-pass port of
+    [Trace.Analyzer]'s post-hoc passes.  Feeding a trace event-by-event
+    through {!push} emits exactly the indication sequence the
+    corresponding [Analyzer] pass would return on the complete array —
+    in the same order — plus a {!pending} view of the one piece of open
+    state (an unfinished timeout sequence) a prefix can have.
+
+    Invariant (property-tested): for every event-array prefix,
+    [emitted indications @ pending] equals
+    [Analyzer.ground_truth_indications prefix] /
+    [Analyzer.infer_indications prefix].  State is O(1). *)
+
+type mode =
+  | Ground_truth
+      (** Consume the sender's own [Timer_fired] /
+          [Fast_retransmit_triggered] events. *)
+  | Infer of { dup_ack_threshold : int; min_timeout_gap : float }
+      (** Reconstruct indications from [Segment_sent] / [Ack_received]
+          alone, as from a raw packet trace. *)
+
+val infer : ?dup_ack_threshold:int -> ?min_timeout_gap:float -> unit -> mode
+(** [Infer] with the analyzer's defaults (3 duplicate ACKs, 0.15 s idle
+    gap) and the analyzer's argument validation. *)
+
+type t
+
+val create : ?on_indication:(Pftk_trace.Analyzer.indication -> unit) -> mode -> t
+(** Closed indications are delivered to [on_indication] in chronological
+    order, each exactly once. *)
+
+val push : t -> Pftk_trace.Event.t -> unit
+
+val pending : t -> Pftk_trace.Analyzer.indication option
+(** The still-open timeout sequence as it would be reported if the trace
+    ended now; [None] when no sequence is open.  (TD indications are
+    never pending — they are emitted the moment they are detected.) *)
+
+val flush : t -> unit
+(** End of stream: close and emit the pending sequence, if any. *)
+
+val emitted : t -> int
+(** Indications emitted so far (excludes {!pending}). *)

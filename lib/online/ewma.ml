@@ -1,0 +1,17 @@
+type t = { gain : float; mutable value : float option }
+
+let create ?(gain = 0.125) () =
+  if not (0. < gain && gain <= 1.) then
+    invalid_arg "Ewma.create: gain outside (0, 1]";
+  { gain; value = None }
+
+let update t x =
+  t.value <-
+    (match t.value with
+    | None -> Some x
+    | Some v -> Some (((1. -. t.gain) *. v) +. (t.gain *. x)))
+
+let value t = t.value
+let value_or t ~default = match t.value with Some v -> v | None -> default
+let gain t = t.gain
+let reset t = t.value <- None

@@ -1,0 +1,22 @@
+(** Exponentially-weighted moving average: the RFC 6298 / TFRC-style
+    smoother, seeded by its first sample.
+
+    [v <- (1 - gain) v + gain x]; O(1) state.  The streaming estimators
+    use it for the responsive (recent-history) view of RTT and T0, next
+    to the cumulative averages that reproduce the post-hoc analyzer. *)
+
+type t
+
+val create : ?gain:float -> unit -> t
+(** [gain] defaults to 0.125 (RFC 6298's alpha).  Raises
+    [Invalid_argument] unless [0 < gain <= 1]. *)
+
+val update : t -> float -> unit
+(** The first sample initializes the average exactly (no zero bias). *)
+
+val value : t -> float option
+(** [None] before the first sample. *)
+
+val value_or : t -> default:float -> float
+val gain : t -> float
+val reset : t -> unit

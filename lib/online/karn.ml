@@ -1,0 +1,54 @@
+module Event = Pftk_trace.Event
+
+type t = {
+  emit : float -> unit;
+  send_time : (int, float) Hashtbl.t;
+  tainted : (int, unit) Hashtbl.t;
+  mutable highest_ack : int;
+  mutable samples : int;
+  mutable sum : float;
+}
+
+let create ?(on_sample = fun (_ : float) -> ()) () =
+  {
+    emit = on_sample;
+    send_time = Hashtbl.create 512;
+    tainted = Hashtbl.create 64;
+    highest_ack = 0;
+    samples = 0;
+    sum = 0.;
+  }
+
+(* Mirrors Analyzer.karn_rtt_samples, one event at a time: first
+   transmissions are stamped; a cumulative ACK matches every newly covered
+   segment, skipping any that was ever retransmitted (Karn's rule); matched
+   segments are forgotten, so live state is bounded by the flight size. *)
+let push t { Event.time; kind } =
+  match kind with
+  | Event.Segment_sent { seq; retransmission; _ } ->
+      if retransmission then Hashtbl.replace t.tainted seq ()
+      else if not (Hashtbl.mem t.send_time seq) then
+        Hashtbl.replace t.send_time seq time
+  | Event.Ack_received { ack } ->
+      if ack > t.highest_ack then begin
+        for seq = t.highest_ack to ack - 1 do
+          (match Hashtbl.find_opt t.send_time seq with
+          | Some sent when not (Hashtbl.mem t.tainted seq) ->
+              let sample = time -. sent in
+              t.samples <- t.samples + 1;
+              t.sum <- t.sum +. sample;
+              t.emit sample
+          | Some _ | None -> ());
+          Hashtbl.remove t.send_time seq;
+          Hashtbl.remove t.tainted seq
+        done;
+        t.highest_ack <- ack
+      end
+  | Event.Timer_fired _ | Event.Fast_retransmit_triggered _
+  | Event.Rtt_sample _ | Event.Round_started _ | Event.Connection_closed ->
+      ()
+
+let samples t = t.samples
+let sum t = t.sum
+let mean t = if t.samples = 0 then None else Some (t.sum /. float_of_int t.samples)
+let outstanding t = Hashtbl.length t.send_time + Hashtbl.length t.tainted

@@ -1,0 +1,27 @@
+(** Streaming Karn RTT sampler: single-pass port of
+    [Trace.Analyzer.karn_rtt_samples].  First-transmission segments are
+    matched to the first cumulative ACK covering them; any segment that
+    was ever retransmitted is never timed (Karn's algorithm).
+
+    The sample sequence delivered to [on_sample] is identical — same
+    values, same order — to the array the post-hoc pass returns on the
+    complete trace.  Matched and superseded segments are dropped as the
+    cumulative ACK advances, so live state is bounded by the number of
+    in-flight segments ({!outstanding}), not the trace length. *)
+
+type t
+
+val create : ?on_sample:(float -> unit) -> unit -> t
+val push : t -> Pftk_trace.Event.t -> unit
+
+val samples : t -> int
+(** Samples produced so far. *)
+
+val sum : t -> float
+val mean : t -> float option
+(** Arithmetic mean of the samples so far, accumulated in arrival order
+    (bit-identical to the post-hoc mean of the same prefix); [None]
+    before the first sample. *)
+
+val outstanding : t -> int
+(** Segments currently tracked (the bounded-memory witness). *)

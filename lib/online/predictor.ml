@@ -1,0 +1,161 @@
+module Event = Pftk_trace.Event
+module Analyzer = Pftk_trace.Analyzer
+module Params = Pftk_core.Params
+module Full_model = Pftk_core.Full_model
+module Approx_model = Pftk_core.Approx_model
+
+type prediction = { full : float; approx : float }
+
+type snapshot = {
+  time : float;
+  packets_sent : int;
+  observed_rate : float;
+  p : float;
+  rtt : float;
+  t0 : float;
+  p_decayed : float option;
+  rtt_ewma : float option;
+  rtt_windowed : float option;
+  prediction : prediction option;
+}
+
+type t = {
+  params : Params.t;
+  interval : float;
+  emit : snapshot -> unit;
+  summary : Summary.t;
+  rtt_ewma : Ewma.t;
+  rtt_window : Window.t;
+  packet_decay : Decay.t;
+  indication_decay : Decay.t;
+  backoff_decay : Decay.hist;
+  mutable last_time : float;
+  mutable next_mark : float;
+  mutable snapshots : int;
+}
+
+let create ?(mode = `Ground_truth) ?dup_ack_threshold ?min_timeout_gap
+    ?(interval = 100.) ?(on_snapshot = fun (_ : snapshot) -> ())
+    (params : Params.t) =
+  Params.validate params;
+  if not (interval > 0.) then
+    invalid_arg "Predictor.create: interval must be positive";
+  (* The decaying estimators forget with a time constant of two
+     checkpoint intervals: long enough to smooth over individual loss
+     events, short enough to track the per-100s drift the paper's
+     interval analysis looks at. *)
+  let tau = 2. *. interval in
+  let packet_decay = Decay.create ~tau () in
+  let indication_decay = Decay.create ~tau () in
+  let backoff_decay = Decay.create_hist ~tau ~buckets:6 in
+  let on_indication indication =
+    let time = Analyzer.indication_time indication in
+    Decay.bump indication_decay ~time;
+    match indication with
+    | Analyzer.Td _ -> ()
+    | Analyzer.To { timeouts; _ } ->
+        Decay.observe backoff_decay ~time (min (timeouts - 1) 5)
+  in
+  {
+    params;
+    interval;
+    emit = on_snapshot;
+    summary =
+      Summary.create ~mode ?dup_ack_threshold ?min_timeout_gap ~on_indication
+        ();
+    rtt_ewma = Ewma.create ();
+    rtt_window = Window.create ~span:interval ();
+    packet_decay;
+    indication_decay;
+    backoff_decay;
+    last_time = 0.;
+    next_mark = interval;
+    snapshots = 0;
+  }
+
+(* Estimates from the cumulative summary, with the suite's usual fallback
+   for T0: before the first timeout there is no T0 sample, so the RFC 6298
+   stand-in 4*RTT applies. *)
+let estimates summary =
+  let p = summary.Analyzer.observed_p in
+  let rtt = summary.Analyzer.avg_rtt in
+  let t0 =
+    if summary.Analyzer.avg_t0 > 0. then summary.Analyzer.avg_t0 else 4. *. rtt
+  in
+  (p, rtt, t0)
+
+(* The model is only defined on 0 < p < 1, rtt > 0, t0 > 0; outside that
+   domain (a loss-free or sample-free prefix) there is no prediction yet. *)
+let predict_at t ~p ~rtt ~t0 =
+  if p > 0. && p < 1. && rtt > 0. && t0 > 0. then begin
+    let params = { t.params with Params.rtt; t0 } in
+    Some
+      {
+        full = Full_model.send_rate params p;
+        approx = Approx_model.send_rate params p;
+      }
+  end
+  else None
+
+let snapshot_at t ~time =
+  let summary = Summary.current t.summary in
+  let p, rtt, t0 = estimates summary in
+  let packets = Decay.value t.packet_decay ~time in
+  let indications = Decay.value t.indication_decay ~time in
+  {
+    time;
+    packets_sent = summary.Analyzer.packets_sent;
+    observed_rate = summary.Analyzer.send_rate;
+    p;
+    rtt;
+    t0;
+    p_decayed = (if packets > 0. then Some (indications /. packets) else None);
+    rtt_ewma = Ewma.value t.rtt_ewma;
+    rtt_windowed = Window.mean t.rtt_window ~now:time;
+    prediction = predict_at t ~p ~rtt ~t0;
+  }
+
+let push t event =
+  let time = event.Event.time in
+  (* Checkpoints fire for every interval boundary crossed up to this
+     event, evaluated at the boundary time — the stream-side mirror of the
+     paper's fixed 100-s slicing. *)
+  while time >= t.next_mark do
+    let mark = t.next_mark in
+    t.snapshots <- t.snapshots + 1;
+    t.next_mark <- t.next_mark +. t.interval;
+    t.emit (snapshot_at t ~time:mark)
+  done;
+  t.last_time <- time;
+  (match event.Event.kind with
+  | Event.Segment_sent _ -> Decay.bump t.packet_decay ~time
+  | Event.Rtt_sample { sample; _ } ->
+      Ewma.update t.rtt_ewma sample;
+      Window.add t.rtt_window ~time sample
+  | Event.Ack_received _ | Event.Timer_fired _
+  | Event.Fast_retransmit_triggered _ | Event.Round_started _
+  | Event.Connection_closed ->
+      ());
+  Summary.push t.summary event
+
+let sink t = push t
+let snapshot t = snapshot_at t ~time:t.last_time
+let summary t = Summary.current t.summary
+let decayed_backoff t = Decay.read t.backoff_decay ~time:t.last_time
+let snapshots_emitted t = t.snapshots
+let interval t = t.interval
+let params t = t.params
+
+let pp_snapshot ppf s =
+  let opt = function
+    | Some v -> Printf.sprintf "%.4f" v
+    | None -> "-"
+  in
+  Format.fprintf ppf
+    "t=%8.1f pkts=%8d rate=%8.2f p=%.5f rtt=%.4f t0=%.3f p~=%s rtt~=%s %s"
+    s.time s.packets_sent s.observed_rate s.p s.rtt s.t0 (opt s.p_decayed)
+    (opt s.rtt_ewma)
+    (match s.prediction with
+    | Some { full; approx } ->
+        Printf.sprintf "pred-full=%.2f pred-approx=%.2f" full approx
+    | None -> "pred=-")

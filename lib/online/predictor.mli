@@ -1,0 +1,78 @@
+(** Live PFTK prediction: a {!Summary} plus the smoothed estimators,
+    re-evaluating the full model (eq. 31/32) and the approximation
+    (eq. 33) as the connection runs.
+
+    At every checkpoint-interval boundary (default 100 s, the paper's
+    slicing) the predictor emits a {!snapshot} pairing the observed send
+    rate so far with the model's prediction from the streaming estimates
+    of [p], [RTT] and [T0] — the predicted-vs-observed time series the
+    convergence experiment and [pftk live] plot.  Alongside the cumulative
+    estimates it tracks an EWMA and a sliding-window RTT and an
+    exponentially-decaying [p], so recent behaviour is visible next to
+    the whole-connection averages. *)
+
+type prediction = {
+  full : float;  (** Full model, eq. (32), packets/s. *)
+  approx : float;  (** Approximation, eq. (33), packets/s. *)
+}
+
+type snapshot = {
+  time : float;  (** Checkpoint time (an interval boundary, or "now"). *)
+  packets_sent : int;
+  observed_rate : float;  (** Cumulative packets / duration. *)
+  p : float;  (** Cumulative loss-indication rate. *)
+  rtt : float;  (** Cumulative average RTT. *)
+  t0 : float;  (** Average first-timer duration, or [4 * rtt] before the
+                   first timeout (RFC 6298 stand-in). *)
+  p_decayed : float option;
+      (** Decaying-window [p]: ratio of the indication and packet decay
+          counters; [None] before the first packet. *)
+  rtt_ewma : float option;  (** EWMA (gain 1/8) of RTT samples. *)
+  rtt_windowed : float option;  (** Mean over the last interval's samples. *)
+  prediction : prediction option;
+      (** [None] while the estimates are outside the model's domain
+          (no loss yet, or no RTT sample yet). *)
+}
+
+type t
+
+val create :
+  ?mode:[ `Ground_truth | `Infer ] ->
+  ?dup_ack_threshold:int ->
+  ?min_timeout_gap:float ->
+  ?interval:float ->
+  ?on_snapshot:(snapshot -> unit) ->
+  Pftk_core.Params.t ->
+  t
+(** [create params] keeps [params.b] and [params.wm] fixed (they are path
+    facts, not estimated) and replaces [rtt]/[t0] with the streaming
+    estimates at each evaluation.  [interval] (default 100 s, must be
+    positive) sets the checkpoint spacing; [on_snapshot] hears each
+    boundary snapshot in order.  Raises [Invalid_argument] on invalid
+    [params] or a non-positive [interval]. *)
+
+val push : t -> Pftk_trace.Event.t -> unit
+(** Feed one event.  Crossing one or more interval boundaries first emits
+    the snapshot(s) for those boundaries, evaluated at the boundary
+    time. *)
+
+val sink : t -> Pftk_trace.Event.t -> unit
+(** [sink t] is [push t], shaped for [Recorder.subscribe]. *)
+
+val snapshot : t -> snapshot
+(** A snapshot at the time of the last event seen (not emitted to
+    [on_snapshot]). *)
+
+val summary : t -> Pftk_trace.Analyzer.summary
+(** The underlying streaming summary ({!Summary.current}). *)
+
+val decayed_backoff : t -> float array
+(** The six decayed backoff-histogram shares (T0..T5+) as of the last
+    event. *)
+
+val snapshots_emitted : t -> int
+
+val interval : t -> float
+val params : t -> Pftk_core.Params.t
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

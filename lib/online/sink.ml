@@ -1,0 +1,28 @@
+module Event = Pftk_trace.Event
+module Recorder = Pftk_trace.Recorder
+module Serialize = Pftk_trace.Serialize
+
+type t = Event.t -> unit
+
+let null (_ : Event.t) = ()
+let tee sinks event = List.iter (fun sink -> sink event) sinks
+let filter pred sink event = if pred event then sink event
+
+let map f sink event = sink (f event)
+
+type counter = { mutable events : int; mutable last_time : float }
+
+let counter () = { events = 0; last_time = 0. }
+
+let counting c sink event =
+  c.events <- c.events + 1;
+  c.last_time <- event.Event.time;
+  sink event
+
+let events c = c.events
+let last_time c = c.last_time
+
+let to_recorder recorder { Event.time; kind } =
+  Recorder.record recorder ~time kind
+
+let to_channel oc event = Serialize.write_event oc event

@@ -1,0 +1,41 @@
+(** Event-sink combinators: the plumbing between a producer
+    ([Recorder.subscribe], [Serialize.iter_file], a live simulation) and
+    any number of streaming consumers ({!Summary.sink},
+    {!Predictor.sink}, a trace file, another recorder).
+
+    A sink is just [Event.t -> unit]; these helpers compose them without
+    allocating per event. *)
+
+type t = Pftk_trace.Event.t -> unit
+
+val null : t
+(** Discards every event. *)
+
+val tee : t list -> t
+(** Delivers each event to every sink, in list order. *)
+
+val filter : (Pftk_trace.Event.t -> bool) -> t -> t
+(** [filter pred sink] forwards only events satisfying [pred]. *)
+
+val map : (Pftk_trace.Event.t -> Pftk_trace.Event.t) -> t -> t
+(** [map f sink] forwards [f event]. *)
+
+(** {1 Counting} *)
+
+type counter
+
+val counter : unit -> counter
+val counting : counter -> t -> t
+(** [counting c sink] forwards every event, tallying the count and the
+    last timestamp into [c]. *)
+
+val events : counter -> int
+val last_time : counter -> float
+
+(** {1 Terminal sinks} *)
+
+val to_recorder : Pftk_trace.Recorder.t -> t
+(** Re-records into a recorder (e.g. to buffer a filtered sub-stream). *)
+
+val to_channel : out_channel -> t
+(** Writes each event in the {!Pftk_trace.Serialize} line format. *)

@@ -1,0 +1,126 @@
+module Event = Pftk_trace.Event
+module Analyzer = Pftk_trace.Analyzer
+
+(* Closed-indication tallies, updated by the detector callback (the
+   detector's pending sequence is folded in at query time). *)
+type tallies = {
+  mutable td : int;
+  to_by_backoff : int array;
+  mutable first_timer_sum : float;
+  mutable first_timer_count : int;
+  mutable closed : int;
+}
+
+type t = {
+  mode : [ `Ground_truth | `Infer ];
+  detector : Detector.t;
+  karn : Karn.t;
+  tallies : tallies;
+  mutable events : int;
+  mutable last_time : float;
+  mutable packets : int;
+  (* Ground-truth RTT accumulation, in arrival order. *)
+  mutable rtt_sum : float;
+  mutable rtt_count : int;
+}
+
+let bucket_of timeouts = min (timeouts - 1) 5
+
+let record_indication tallies indication =
+  tallies.closed <- tallies.closed + 1;
+  match indication with
+  | Analyzer.Td _ -> tallies.td <- tallies.td + 1
+  | Analyzer.To { timeouts; first_timer; _ } ->
+      let b = bucket_of timeouts in
+      tallies.to_by_backoff.(b) <- tallies.to_by_backoff.(b) + 1;
+      tallies.first_timer_sum <- tallies.first_timer_sum +. first_timer;
+      tallies.first_timer_count <- tallies.first_timer_count + 1
+
+let create ?(mode = `Ground_truth) ?dup_ack_threshold ?min_timeout_gap
+    ?(on_indication = fun (_ : Analyzer.indication) -> ()) () =
+  let tallies =
+    {
+      td = 0;
+      to_by_backoff = Array.make 6 0;
+      first_timer_sum = 0.;
+      first_timer_count = 0;
+      closed = 0;
+    }
+  in
+  let detector_mode =
+    match mode with
+    | `Ground_truth -> Detector.Ground_truth
+    | `Infer -> Detector.infer ?dup_ack_threshold ?min_timeout_gap ()
+  in
+  {
+    mode;
+    detector =
+      Detector.create
+        ~on_indication:(fun i ->
+          record_indication tallies i;
+          on_indication i)
+        detector_mode;
+    karn = Karn.create ();
+    tallies;
+    events = 0;
+    last_time = 0.;
+    packets = 0;
+    rtt_sum = 0.;
+    rtt_count = 0;
+  }
+
+let push t event =
+  t.events <- t.events + 1;
+  t.last_time <- event.Event.time;
+  if Event.is_send event then t.packets <- t.packets + 1;
+  (match (t.mode, event.Event.kind) with
+  | `Ground_truth, Event.Rtt_sample { sample; _ } ->
+      t.rtt_sum <- t.rtt_sum +. sample;
+      t.rtt_count <- t.rtt_count + 1
+  | `Ground_truth, _ -> ()
+  | `Infer, _ -> Karn.push t.karn event);
+  Detector.push t.detector event
+
+let sink t = push t
+let events_seen t = t.events
+let mode t = t.mode
+
+let current t =
+  (* Fold the detector's open timeout sequence in provisionally, so the
+     result equals Analyzer.summarize over exactly the events seen so far
+     (the post-hoc pass closes open sequences at the end of the array
+     too). *)
+  let to_by_backoff = Array.copy t.tallies.to_by_backoff in
+  let first_timer_sum = ref t.tallies.first_timer_sum in
+  let first_timer_count = ref t.tallies.first_timer_count in
+  let indications = ref t.tallies.closed in
+  (match Detector.pending t.detector with
+  | Some (Analyzer.To { timeouts; first_timer; _ }) ->
+      incr indications;
+      let b = bucket_of timeouts in
+      to_by_backoff.(b) <- to_by_backoff.(b) + 1;
+      first_timer_sum := !first_timer_sum +. first_timer;
+      incr first_timer_count
+  | Some (Analyzer.Td _) | None -> ());
+  let duration = if t.events = 0 then 0. else t.last_time in
+  let rtt_sum, rtt_count =
+    match t.mode with
+    | `Ground_truth -> (t.rtt_sum, t.rtt_count)
+    | `Infer -> (Karn.sum t.karn, Karn.samples t.karn)
+  in
+  {
+    Analyzer.duration;
+    packets_sent = t.packets;
+    loss_indications = !indications;
+    td_count = t.tallies.td;
+    to_by_backoff;
+    observed_p =
+      (if t.packets = 0 then 0.
+       else float_of_int !indications /. float_of_int t.packets);
+    avg_rtt = (if rtt_count = 0 then 0. else rtt_sum /. float_of_int rtt_count);
+    avg_t0 =
+      (if !first_timer_count = 0 then 0.
+       else !first_timer_sum /. float_of_int !first_timer_count);
+    send_rate =
+      (if duration > 0. then float_of_int t.packets /. duration else 0.);
+  }

@@ -1,0 +1,45 @@
+(** The streaming counterpart of [Trace.Analyzer.summarize]: consume
+    events one at a time (in O(1) state — a {!Detector}, a {!Karn}
+    matcher, and a dozen counters) and produce, at any moment, the same
+    [Analyzer.summary] the post-hoc pass would compute over the events
+    seen so far.
+
+    Equivalence contract (enforced by the streaming/post-hoc equivalence
+    suite, [test_online.exe test equivalence]): for every prefix of every
+    trace, {!current} matches [Analyzer.summarize] field-for-field —
+    {b exactly} for [duration], [packets_sent], [loss_indications],
+    [td_count], [to_by_backoff], [observed_p], [send_rate] and [avg_rtt],
+    and within 1e-9 relative for [avg_t0] (the post-hoc pass happens to
+    sum first-timer durations in reverse order; the multiset is
+    identical, only float rounding differs).
+
+    Degenerate streams are total, like the (robust) post-hoc analyzer:
+    no events, zero duration, or no RTT samples yield zeros, never
+    NaN or an exception. *)
+
+type t
+
+val create :
+  ?mode:[ `Ground_truth | `Infer ] ->
+  ?dup_ack_threshold:int ->
+  ?min_timeout_gap:float ->
+  ?on_indication:(Pftk_trace.Analyzer.indication -> unit) ->
+  unit ->
+  t
+(** Same defaults and argument validation as [Analyzer.summarize]:
+    mode [`Ground_truth]; in [`Infer] mode RTT comes from streaming Karn
+    matching and the threshold/gap options apply.  [on_indication] hears
+    each closed indication once, in order, after it is tallied (the
+    {!Predictor} feeds its decaying estimators from it). *)
+
+val push : t -> Pftk_trace.Event.t -> unit
+
+val sink : t -> Pftk_trace.Event.t -> unit
+(** [sink t] is [push t], shaped for [Recorder.subscribe]. *)
+
+val current : t -> Pftk_trace.Analyzer.summary
+(** The summary of the events seen so far, open timeout sequence folded
+    in provisionally. *)
+
+val events_seen : t -> int
+val mode : t -> [ `Ground_truth | `Infer ]

@@ -1,0 +1,65 @@
+type t = {
+  span : float;
+  capacity : int;
+  times : float array;
+  values : float array;
+  mutable head : int;  (* index of the oldest retained sample *)
+  mutable len : int;
+  mutable sum : float;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) ~span () =
+  if not (span > 0.) then invalid_arg "Window.create: span must be positive";
+  if capacity < 1 then invalid_arg "Window.create: capacity must be >= 1";
+  {
+    span;
+    capacity;
+    times = Array.make capacity 0.;
+    values = Array.make capacity 0.;
+    head = 0;
+    len = 0;
+    sum = 0.;
+    dropped = 0;
+  }
+
+let drop_oldest t =
+  t.sum <- t.sum -. t.values.(t.head);
+  t.head <- (t.head + 1) mod t.capacity;
+  t.len <- t.len - 1
+
+let evict t ~now =
+  while t.len > 0 && t.times.(t.head) < now -. t.span do
+    drop_oldest t
+  done
+
+let add t ~time x =
+  evict t ~now:time;
+  if t.len = t.capacity then begin
+    (* Full ring inside the span: shed the oldest sample so memory stays
+       bounded no matter the event rate; the count is reported so callers
+       can widen the capacity if precision matters. *)
+    drop_oldest t;
+    t.dropped <- t.dropped + 1
+  end;
+  let slot = (t.head + t.len) mod t.capacity in
+  t.times.(slot) <- time;
+  t.values.(slot) <- x;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. x
+
+let count t ~now =
+  evict t ~now;
+  t.len
+
+let sum t ~now =
+  evict t ~now;
+  t.sum
+
+let mean t ~now =
+  evict t ~now;
+  if t.len = 0 then None else Some (t.sum /. float_of_int t.len)
+
+let span t = t.span
+let capacity t = t.capacity
+let dropped t = t.dropped

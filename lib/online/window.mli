@@ -1,0 +1,30 @@
+(** Sliding time-window estimator: the mean/sum/count of the samples from
+    the last [span] seconds, kept in a fixed-capacity ring buffer.
+
+    This is the "most recent interval" view the paper takes when it
+    re-estimates [(p, RTT, T0)] per 100-second slice (§III): unlike
+    {!Ewma} it forgets sharply, and unlike a cumulative average it tracks
+    non-stationary paths.  Memory is bounded by [capacity] regardless of
+    stream length: when the ring fills within one span, the oldest sample
+    is shed (and counted in {!dropped}). *)
+
+type t
+
+val create : ?capacity:int -> span:float -> unit -> t
+(** [capacity] defaults to 4096 samples.  Raises [Invalid_argument] when
+    [span <= 0.] or [capacity < 1]. *)
+
+val add : t -> time:float -> float -> unit
+(** Timestamps must be non-decreasing (the trace stream's contract). *)
+
+val count : t -> now:float -> int
+val sum : t -> now:float -> float
+
+val mean : t -> now:float -> float option
+(** [None] when no sample is within [\[now - span, now\]]. *)
+
+val span : t -> float
+val capacity : t -> int
+
+val dropped : t -> int
+(** Samples shed by the capacity bound (0 in a well-sized window). *)

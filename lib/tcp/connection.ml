@@ -46,11 +46,13 @@ type result = {
 
 let loss_hook = Option.map (fun process () -> Loss_process.drops process)
 
-let run ?(seed = 42L) ~duration scenario =
+let run ?(seed = 42L) ?recorder ~duration scenario =
   if not (duration > 0.) then invalid_arg "Connection.run: duration must be positive";
   let sim = Sim.create () in
   let rng = Pftk_stats.Rng.create ~seed () in
-  let recorder = Recorder.create () in
+  let recorder =
+    match recorder with Some r -> r | None -> Recorder.create ()
+  in
   (* The endpoints and the path are mutually referential; tie the knot with
      forward references resolved before the simulation starts. *)
   let sender_ref = ref None and receiver_ref = ref None in

@@ -37,8 +37,15 @@ type result = {
   forward_stats : Pftk_netsim.Link.stats;
 }
 
-val run : ?seed:int64 -> duration:float -> scenario -> result
-(** Simulate a saturated transfer for [duration] simulated seconds. *)
+val run :
+  ?seed:int64 -> ?recorder:Pftk_trace.Recorder.t -> duration:float ->
+  scenario -> result
+(** Simulate a saturated transfer for [duration] simulated seconds.
+    [recorder] substitutes a caller-built recorder for the internal one —
+    pass [Recorder.create ~buffered:false ()] with subscribed sinks to run
+    arbitrarily long transfers in O(1) memory, feeding the
+    [Pftk_online] estimators as the transfer progresses (the returned
+    [result.recorder] is then unbuffered). *)
 
 val rtt_window_correlation : result -> float
 (** Pearson correlation between RTT samples and packets in flight — the

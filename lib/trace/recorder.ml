@@ -2,27 +2,60 @@ type t = {
   mutable buf : Event.t array;
   mutable size : int;
   mutable last_time : float;
+  mutable seen : int;
+  mutable sends : int;
+  buffered : bool;
+  mutable subscribers : (Event.t -> unit) list;  (* reverse subscription order *)
 }
 
 let placeholder : Event.t = { time = 0.; kind = Event.Connection_closed }
 
-let create () = { buf = Array.make 1024 placeholder; size = 0; last_time = 0. }
+let create ?(buffered = true) () =
+  {
+    buf = (if buffered then Array.make 1024 placeholder else [||]);
+    size = 0;
+    last_time = 0.;
+    seen = 0;
+    sends = 0;
+    buffered;
+    subscribers = [];
+  }
+
+let is_buffered t = t.buffered
+let subscribe t f = t.subscribers <- f :: t.subscribers
 
 let record t ~time kind =
   if time < t.last_time then invalid_arg "Recorder.record: time went backwards";
   t.last_time <- time;
-  if t.size = Array.length t.buf then begin
-    let bigger = Array.make (2 * t.size) placeholder in
-    Array.blit t.buf 0 bigger 0 t.size;
-    t.buf <- bigger
+  let event : Event.t = { time; kind } in
+  if t.buffered then begin
+    if t.size = Array.length t.buf then begin
+      let bigger = Array.make (2 * t.size) placeholder in
+      Array.blit t.buf 0 bigger 0 t.size;
+      t.buf <- bigger
+    end;
+    t.buf.(t.size) <- event;
+    t.size <- t.size + 1
   end;
-  t.buf.(t.size) <- { time; kind };
-  t.size <- t.size + 1
+  t.seen <- t.seen + 1;
+  if Event.is_send event then t.sends <- t.sends + 1;
+  (* Subscribers run in subscription order, after the buffer append, so a
+     sink that queries the recorder sees a state that includes the event. *)
+  List.iter (fun f -> f event) (List.rev t.subscribers)
 
 let length t = t.size
-let events t = Array.sub t.buf 0 t.size
+let events_seen t = t.seen
+
+let require_buffer t name =
+  if not t.buffered then
+    invalid_arg (Printf.sprintf "Recorder.%s: recorder is unbuffered" name)
+
+let events t =
+  require_buffer t "events";
+  Array.sub t.buf 0 t.size
 
 let iter f t =
+  require_buffer t "iter";
   for i = 0 to t.size - 1 do
     f t.buf.(i)
   done
@@ -39,10 +72,8 @@ let between t ~start ~stop =
     t;
   Array.of_list (List.rev !out)
 
-let duration t = if t.size = 0 then 0. else t.buf.(t.size - 1).Event.time
-
-let packets_sent t =
-  fold (fun n e -> if Event.is_send e then n + 1 else n) 0 t
+let duration t = if t.seen = 0 then 0. else t.last_time
+let packets_sent t = t.sends
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

@@ -89,16 +89,28 @@ let event_of_line line =
     | _ -> fail ()
   end
 
+let iter_channel f ic =
+  let last = ref neg_infinity in
+  try
+    while true do
+      let line = input_line ic in
+      match event_of_line line with
+      | Some event ->
+          if event.Event.time < !last then
+            failwith
+              (Printf.sprintf "Serialize: time went backwards at %h"
+                 event.Event.time);
+          last := event.Event.time;
+          f event
+      | None -> ()
+    done
+  with End_of_file -> ()
+
 let read ic =
   let recorder = Recorder.create () in
-  (try
-     while true do
-       let line = input_line ic in
-       match event_of_line line with
-       | Some { Event.time; kind } -> Recorder.record recorder ~time kind
-       | None -> ()
-     done
-   with End_of_file -> ());
+  iter_channel
+    (fun { Event.time; kind } -> Recorder.record recorder ~time kind)
+    ic;
   recorder
 
 let save path recorder =
@@ -108,3 +120,7 @@ let save path recorder =
 let load path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+let iter_file path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> iter_channel f ic)

@@ -19,6 +19,15 @@ val read : in_channel -> Recorder.t
 (** Reads to EOF.  Raises [Failure] on malformed input or non-monotonic
     timestamps. *)
 
+val iter_channel : (Event.t -> unit) -> in_channel -> unit
+(** Streaming variant of {!read}: feeds each parsed event to the callback
+    without building a recorder, so saved traces of any length can be
+    replayed through the online estimators in O(1) memory.  Same failure
+    contract as {!read}. *)
+
+val iter_file : string -> (Event.t -> unit) -> unit
+(** {!iter_channel} over a file path. *)
+
 val save : string -> Recorder.t -> unit
 (** Write to a file path. *)
 

@@ -657,6 +657,97 @@ let test_tfrc_guards () =
   let r = Tfrc.Controller.equation_rate c 0.05 0.2 in
   Alcotest.(check bool) "valid call finite" true (Float.is_finite r && r > 0.)
 
+(* --- Tfrc.Loss_history oracle ---------------------------------------------------------------------------
+   Hand-computed RFC 5348 weighted averages.  With the depth-8 weights
+   [1,1,1,1,0.8,0.6,0.4,0.2] (sum 6), closed intervals most-recent-first
+   [80;70;60;50;40;30;20;10] give
+     (80+70+60+50 + 0.8*40+0.6*30+0.4*20+0.2*10) / 6 = 320/6. *)
+
+(* Feed [interval] packets whose last one is lost: on_packet counts the
+   lost packet into the interval, so this closes (or opens) an interval of
+   exactly [interval] packets. *)
+let feed_interval h interval =
+  for _ = 1 to interval - 1 do
+    Tfrc.Loss_history.on_packet h ~lost:false
+  done;
+  Tfrc.Loss_history.on_packet h ~lost:true
+
+let test_loss_history_uniform () =
+  let h = Tfrc.Loss_history.create () in
+  (* 9 events at packets 100, 200, ..., 900: 8 closed intervals of 100. *)
+  for _ = 1 to 9 do
+    feed_interval h 100
+  done;
+  Alcotest.(check int) "nine events" 9 (Tfrc.Loss_history.loss_events h);
+  check_float ~eps:0. "uniform average is exact" 100.
+    (Option.get (Tfrc.Loss_history.average_interval h));
+  check_float ~eps:0. "rate 1/100" 0.01
+    (Option.get (Tfrc.Loss_history.loss_event_rate h))
+
+let test_loss_history_weighted () =
+  let h = Tfrc.Loss_history.create () in
+  (* First event opens history; then close intervals 10, 20, ..., 80 in
+     chronological order, so most-recent-first the history reads
+     [80;70;...;10]. *)
+  feed_interval h 5;
+  List.iter (feed_interval h) [ 10; 20; 30; 40; 50; 60; 70; 80 ];
+  (* with-current is weaker (current = 0), so the history average wins. *)
+  check_float ~eps:1e-12 "weighted average 320/6" (320. /. 6.)
+    (Option.get (Tfrc.Loss_history.average_interval h));
+  check_float ~eps:1e-12 "rate 6/320" (6. /. 320.)
+    (Option.get (Tfrc.Loss_history.loss_event_rate h))
+
+let test_loss_history_discounting () =
+  let h = Tfrc.Loss_history.create () in
+  feed_interval h 5;
+  List.iter (feed_interval h) [ 10; 20; 30; 40; 50; 60; 70; 80 ];
+  (* A long open interval lifts the average immediately: with current =
+     1000, the with-current average is
+     (1000+80+70+60 + 0.8*50+0.6*40+0.4*30+0.2*20) / 6 = 1290/6 > 320/6. *)
+  for _ = 1 to 1000 do
+    Tfrc.Loss_history.on_packet h ~lost:false
+  done;
+  check_float ~eps:1e-12 "discounted average 1290/6" (1290. /. 6.)
+    (Option.get (Tfrc.Loss_history.average_interval h));
+  (* A short open interval must NOT crash the estimate: after one more
+     loss the closed history rules again. *)
+  Tfrc.Loss_history.on_packet h ~lost:true;
+  let avg = Option.get (Tfrc.Loss_history.average_interval h) in
+  Alcotest.(check bool) "closing the long interval keeps average high" true
+    (avg > 320. /. 6.)
+
+let test_loss_history_vs_online_p () =
+  (* The same loss pattern — one indication every 50 packets — through both
+     estimators: TFRC's loss-event rate and the streaming summary's
+     observed p agree exactly (8 events / 400 packets = 0.02). *)
+  let h = Tfrc.Loss_history.create () in
+  for _ = 1 to 8 do
+    feed_interval h 50
+  done;
+  let tfrc_rate = Option.get (Tfrc.Loss_history.loss_event_rate h) in
+  let s = Pftk_online.Summary.create () in
+  for i = 1 to 400 do
+    let time = float_of_int i in
+    Pftk_online.Summary.push s
+      {
+        Pftk_trace.Event.time;
+        kind =
+          Pftk_trace.Event.Segment_sent
+            { seq = i; retransmission = false; cwnd = 10.; flight = 5 };
+      };
+    if i mod 50 = 0 then
+      Pftk_online.Summary.push s
+        {
+          Pftk_trace.Event.time;
+          kind = Pftk_trace.Event.Timer_fired { backoff = 1; rto = 2. };
+        }
+  done;
+  let online_p =
+    (Pftk_online.Summary.current s).Pftk_trace.Analyzer.observed_p
+  in
+  check_float ~eps:0. "tfrc rate is exactly 0.02" 0.02 tfrc_rate;
+  check_float ~eps:0. "online p equals tfrc rate" tfrc_rate online_p
+
 (* --- Property tests ------------------------------------------------------------------------------------ *)
 
 let gen_p = QCheck.float_range 1e-4 0.9
@@ -827,6 +918,13 @@ let () =
           case "pinned messages" test_guard_messages;
           case "entry-point sweep" test_guard_sweep;
           case "tfrc controller" test_tfrc_guards;
+        ] );
+      ( "tfrc-oracle",
+        [
+          case "uniform intervals" test_loss_history_uniform;
+          case "weighted history" test_loss_history_weighted;
+          case "history discounting" test_loss_history_discounting;
+          case "agrees with online p" test_loss_history_vs_online_p;
         ] );
       ("properties", props);
     ]

@@ -392,6 +392,130 @@ let test_timeline_summary () =
   Alcotest.(check bool) "mentions retransmissions" true
     (String.length line > 0)
 
+(* --- Degenerate summaries --------------------------------------------------
+   Pinned behaviour on inputs the estimators must not choke on: zero
+   duration and traces without RTT samples yield zeros, never NaN/inf. *)
+
+let all_finite s =
+  List.for_all Float.is_finite
+    [
+      s.Analyzer.duration;
+      s.Analyzer.observed_p;
+      s.Analyzer.avg_rtt;
+      s.Analyzer.avg_t0;
+      s.Analyzer.send_rate;
+    ]
+
+let test_summarize_zero_duration () =
+  let s = Analyzer.summarize (recorder_of [ (0., send 0) ]) in
+  check_float ~eps:0. "duration" 0. s.Analyzer.duration;
+  Alcotest.(check int) "one packet" 1 s.Analyzer.packets_sent;
+  check_float ~eps:0. "rate is 0, not NaN" 0. s.Analyzer.send_rate;
+  Alcotest.(check bool) "all fields finite" true (all_finite s)
+
+let test_summarize_no_rtt_samples () =
+  let s =
+    Analyzer.summarize
+      (recorder_of
+         [
+           (0., send 0);
+           (1., Event.Timer_fired { backoff = 1; rto = 2. });
+           (3., send ~rexmit:true 0);
+         ])
+  in
+  check_float ~eps:0. "avg rtt zero" 0. s.Analyzer.avg_rtt;
+  Alcotest.(check bool) "all fields finite" true (all_finite s);
+  Alcotest.(check int) "timeout still counted" 1 s.Analyzer.loss_indications
+
+(* --- Serialization ----------------------------------------------------------
+   Write-then-read identity over randomized streams covering all seven
+   event kinds.  Exact comparison: the %h encoding must round-trip floats
+   bit-for-bit. *)
+
+let random_kind rng i =
+  let module Rng = Pftk_stats.Rng in
+  match Rng.int rng 7 with
+  | 0 ->
+      Event.Segment_sent
+        {
+          seq = i;
+          retransmission = Rng.bool rng;
+          cwnd = Rng.float_range rng 1. 100.;
+          flight = Rng.int rng 64;
+        }
+  | 1 -> Event.Ack_received { ack = Rng.int rng 100_000 }
+  | 2 ->
+      Event.Timer_fired
+        { backoff = 1 + Rng.int rng 6; rto = Rng.exponential rng 2. }
+  | 3 -> Event.Fast_retransmit_triggered { seq = Rng.int rng 100_000 }
+  | 4 ->
+      let sample = Rng.float_range rng 1e-4 3. in
+      Event.Rtt_sample
+        { sample; srtt = sample *. 0.9; rto = Rng.exponential rng 1. }
+  | 5 -> Event.Round_started { index = i; window = Rng.float_range rng 1. 50. }
+  | _ -> Event.Connection_closed
+
+let random_trace ~seed ~n =
+  let rng = Pftk_stats.Rng.create ~seed () in
+  let time = ref 0. in
+  List.init n (fun i ->
+      time := !time +. Pftk_stats.Rng.exponential rng 10.;
+      { Event.time = !time; kind = random_kind rng i })
+
+let kind_tag = function
+  | Event.Segment_sent _ -> 0
+  | Event.Ack_received _ -> 1
+  | Event.Timer_fired _ -> 2
+  | Event.Fast_retransmit_triggered _ -> 3
+  | Event.Rtt_sample _ -> 4
+  | Event.Round_started _ -> 5
+  | Event.Connection_closed -> 6
+
+let event =
+  Alcotest.testable
+    (fun ppf e -> Format.pp_print_string ppf (Pftk_trace.Serialize.line_of_event e))
+    ( = )
+
+let test_serialize_line_roundtrip () =
+  let events = random_trace ~seed:123L ~n:500 in
+  let tags = List.sort_uniq compare (List.map (fun e -> kind_tag e.Event.kind) events) in
+  Alcotest.(check (list int)) "all seven kinds exercised" [ 0; 1; 2; 3; 4; 5; 6 ] tags;
+  List.iter
+    (fun e ->
+      match Pftk_trace.Serialize.(event_of_line (line_of_event e)) with
+      | Some e' -> Alcotest.check event "line roundtrip" e e'
+      | None -> Alcotest.fail "event encoded as a comment/blank line")
+    events
+
+let test_serialize_file_roundtrip () =
+  let r = Recorder.create () in
+  List.iter
+    (fun { Event.time; kind } -> Recorder.record r ~time kind)
+    (random_trace ~seed:321L ~n:300);
+  let path = Filename.temp_file "pftk_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pftk_trace.Serialize.save path r;
+      let r' = Pftk_trace.Serialize.load path in
+      let events_of rec_ = Array.to_list (Recorder.events rec_) in
+      Alcotest.(check (list event)) "save/load identity" (events_of r)
+        (events_of r');
+      (* Streaming read sees the same events as the batch read. *)
+      let streamed = ref [] in
+      Pftk_trace.Serialize.iter_file path (fun e -> streamed := e :: !streamed);
+      Alcotest.(check (list event)) "iter_file identity" (events_of r)
+        (List.rev !streamed))
+
+let test_serialize_rejects_malformed () =
+  Alcotest.(check bool) "comment skipped" true
+    (Pftk_trace.Serialize.event_of_line "# comment" = None);
+  Alcotest.(check bool) "blank skipped" true
+    (Pftk_trace.Serialize.event_of_line "   " = None);
+  match Pftk_trace.Serialize.event_of_line "0.5 bogus 1 2 3" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "malformed line accepted"
+
 let () =
   Alcotest.run "pftk_trace"
     [
@@ -428,7 +552,15 @@ let () =
         [
           case "ground truth" test_summarize_ground_truth;
           case "empty trace" test_summarize_empty;
+          case "zero duration" test_summarize_zero_duration;
+          case "no rtt samples" test_summarize_no_rtt_samples;
           slow_case "inference vs ground truth" test_inference_matches_ground_truth_on_real_trace;
+        ] );
+      ( "serialize",
+        [
+          case "line roundtrip 500 random events" test_serialize_line_roundtrip;
+          case "file roundtrip" test_serialize_file_roundtrip;
+          case "rejects malformed" test_serialize_rejects_malformed;
         ] );
       ( "timeline",
         [

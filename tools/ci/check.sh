@@ -6,23 +6,41 @@
 #                             (pftk-lint, rules L1-L5) and @race
 #                             (pftk-race, rules R1-R4) analyzers
 #   2. dune runtest        -- every alcotest/qcheck suite
-#   3. dune build --profile release
+#   3. equivalence suite   -- the online/post-hoc agreement contract:
+#                             every streaming summary must match
+#                             Analyzer.summarize exactly (avg_t0 within
+#                             1e-9 relative) on all 24 Table II paths,
+#                             packet-level traces, prefixes, and
+#                             disk-replayed streams
+#   4. dune build --profile release
 #                          -- the optimized build the benchmarks use
 #
-# Exits non-zero at the first failure.  Run from anywhere inside the
-# workspace; dune locates the project root itself.
+# Each phase reports its wall-clock time.  Exits non-zero at the first
+# failure.  Run from anywhere inside the workspace; dune locates the
+# project root itself.
 
 set -eu
 
 say() { printf '== %s\n' "$*"; }
 
-say "dune build (default alias: compile + @lint + @race)"
-dune build
+# POSIX sh has no SECONDS; date +%s is universal.
+phase() {
+  _label=$1
+  shift
+  say "$_label"
+  _t0=$(date +%s)
+  "$@"
+  _t1=$(date +%s)
+  say "$_label: done in $((_t1 - _t0))s"
+}
 
-say "dune runtest"
-dune runtest
+phase "dune build (default alias: compile + @lint + @race)" dune build
 
-say "dune build --profile release"
-dune build --profile release
+phase "dune runtest" dune runtest
+
+phase "equivalence suite (online vs post-hoc analyzer)" \
+  dune exec test/test_online.exe -- test equivalence
+
+phase "dune build --profile release" dune build --profile release
 
 say "all checks passed"
