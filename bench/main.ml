@@ -175,10 +175,26 @@ let streaming_benchmark ~quick =
           recorder);
   ]
 
-let write_timings_json ~path ~quick ~jobs ~streaming timings =
+(* --- Selfcheck throughput: generated cases/second through the catalog ----- *)
+
+(* How fast the property harness burns through cases matters for how many a
+   CI run can afford; track it alongside the other perf numbers.  The run
+   itself doubles as a correctness gate: a failing invariant marks the
+   record as not-ok. *)
+let selfcheck_benchmark ~quick ~jobs =
+  let cases = if quick then 100 else 400 in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Pftk_selfcheck.Runner.run
+      { Pftk_selfcheck.Runner.cases; seed = 42L; jobs; only = None }
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (cases, float_of_int cases /. elapsed, Pftk_selfcheck.Runner.ok report)
+
+let write_timings_json ~path ~quick ~jobs ~streaming ~selfcheck timings =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pftk-bench-v2\",\n";
+  Printf.fprintf oc "  \"schema\": \"pftk-bench-v3\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"artifacts\": [\n";
@@ -199,6 +215,11 @@ let write_timings_json ~path ~quick ~jobs ~streaming timings =
         (if i = n - 1 then "" else ","))
     streaming;
   Printf.fprintf oc "  ],\n";
+  let cases, cases_per_second, ok = selfcheck in
+  Printf.fprintf oc
+    "  \"selfcheck\": { \"cases\": %d, \"cases_per_second\": %.0f, \"ok\": %b \
+     },\n"
+    cases cases_per_second ok;
   Printf.fprintf oc "  \"part1_total_seconds\": %.6f\n"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
   Printf.fprintf oc "}\n";
@@ -230,10 +251,16 @@ let regenerate ~quick ~jobs =
     (fun (name, events_per_second) ->
       Format.fprintf err "%-22s %12.0f events/s@." name events_per_second)
     streaming;
+  let selfcheck = selfcheck_benchmark ~quick ~jobs in
+  let cases, cases_per_second, ok = selfcheck in
+  Format.fprintf err "# Selfcheck harness (jobs=%d)@." jobs;
+  Format.fprintf err "%-22s %12.0f cases/s (%d cases, %s)@." "selfcheck"
+    cases_per_second cases
+    (if ok then "all invariants hold" else "FAILURES");
   Format.pp_print_flush err ();
   if tree_is_clean () then
     write_timings_json ~path:"BENCH_results.json" ~quick ~jobs ~streaming
-      timings
+      ~selfcheck timings
   else
     Format.fprintf err
       "# BENCH_results.json not written: tree fails pftk-lint/pftk-race@."

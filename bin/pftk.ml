@@ -81,6 +81,10 @@ let fail_trace path msg : 'a =
   Format.eprintf "pftk: cannot use trace file %s: %s@." path msg;
   exit 1
 
+(* The error already names the file; fail_trace prints the path itself. *)
+let trace_error (e : Pftk_trace.Serialize.error) =
+  Pftk_trace.Serialize.error_message { e with Pftk_trace.Serialize.file = None }
+
 let load_trace path =
   match Pftk_trace.Serialize.load path with
   | recorder ->
@@ -88,13 +92,13 @@ let load_trace path =
         fail_trace path "trace contains no events"
       else recorder
   | exception Sys_error msg -> fail_trace path msg
-  | exception Failure msg -> fail_trace path msg
+  | exception Pftk_trace.Serialize.Error e -> fail_trace path (trace_error e)
 
 let iter_trace path f =
   match Pftk_trace.Serialize.iter_file path f with
   | () -> ()
   | exception Sys_error msg -> fail_trace path msg
-  | exception Failure msg -> fail_trace path msg
+  | exception Pftk_trace.Serialize.Error e -> fail_trace path (trace_error e)
 
 (* --- rate / throughput / inverse / sweep -------------------------------- *)
 
@@ -375,6 +379,70 @@ let live_cmd =
       const run $ rtt_arg $ t0_arg $ b_arg $ wm_arg $ p_arg $ seed_arg
       $ duration_arg $ interval_arg $ trace_arg $ infer_arg)
 
+(* --- selfcheck ------------------------------------------------------------ *)
+
+let selfcheck_cmd =
+  let cases_arg =
+    let doc = "Number of generated cases." in
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let invariant_arg =
+    let doc =
+      "Check only one invariant, by id (C1..C10) or name (e.g. \
+       inverse-roundtrip)."
+    in
+    Arg.(value & opt (some string) None & info [ "invariant" ] ~docv:"CK" ~doc)
+  in
+  let pin_arg =
+    let doc =
+      "Write each failure's shrunk counterexample to $(docv) as a corpus \
+       file (one per failure, named after the invariant and case index)."
+    in
+    Arg.(value & opt (some string) None & info [ "pin" ] ~docv:"DIR" ~doc)
+  in
+  let run cases seed jobs invariant pin =
+    let report =
+      match
+        Pftk_selfcheck.Runner.run
+          { Pftk_selfcheck.Runner.cases; seed; jobs; only = invariant }
+      with
+      | report -> report
+      | exception Invalid_argument msg ->
+          Format.eprintf "pftk: %s@." msg;
+          exit 2
+    in
+    Pftk_selfcheck.Runner.pp_report ppf report;
+    (match pin with
+    | Some dir ->
+        List.iter
+          (fun f ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "%s-case%d.case"
+                   (String.lowercase_ascii
+                      f.Pftk_selfcheck.Runner.invariant.Pftk_selfcheck.Invariant.id)
+                   f.Pftk_selfcheck.Runner.index)
+            in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Pftk_selfcheck.Runner.counterexample_to_string ~seed f));
+            Format.fprintf ppf "counterexample pinned to %s@." path)
+          report.Pftk_selfcheck.Runner.failures
+    | None -> ());
+    if not (Pftk_selfcheck.Runner.ok report) then exit 1
+  in
+  let doc =
+    "Property-based self-check: generate random cases and verify the \
+     paper-guaranteed invariants (C1..C10) across the whole suite, \
+     shrinking any counterexample.  Deterministic in --seed; the report \
+     is byte-identical for every --jobs value."
+  in
+  Cmd.v (Cmd.info "selfcheck" ~doc)
+    Term.(const run $ cases_arg $ seed_arg $ jobs_arg $ invariant_arg $ pin_arg)
+
 (* --- experiment drivers --------------------------------------------------- *)
 
 let hour_duration quick = if quick then 600. else 3600.
@@ -624,6 +692,7 @@ let main_cmd =
       simulate_cmd;
       analyze_cmd;
       live_cmd;
+      selfcheck_cmd;
       convergence_cmd;
       table1_cmd;
       table2_cmd;

@@ -52,7 +52,7 @@ let () =
         Fixed_point.required_buffer ~target_p:0.01 ~flows:n ~capacity
           ~base_rtt ()
       in
-      Format.printf "%-7d %14.0f@." n needed)
+      Format.printf "%-7d %14d@." n needed)
     [ 8; 16; 32; 64; 128 ];
   Format.printf
     "@.(The square-root law in reverse: doubling the user count quadruples@.";

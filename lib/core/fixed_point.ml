@@ -69,25 +69,28 @@ let solve ?(b = 2) ?(wm = Params.unlimited_window) ?(t0_factor = 4.)
     end
   end
 
+let buffer_cap = 100_000
+
 let required_buffer ?(b = 2) ?(target_p = 0.01) ~flows ~capacity ~base_rtt () =
   if not (target_p > 0. && target_p < 1.) then
     invalid_arg "Fixed_point.required_buffer: target_p outside (0, 1)";
-  (* Find the buffer at which the equilibrium loss equals target_p.  Larger
-     buffers inflate RTT, which slows the flows and lowers equilibrium
-     loss, so the relation is monotone decreasing in the buffer size. *)
-  let loss_at buffer =
-    (solve ~b ~flows ~capacity ~buffer:(int_of_float buffer) ~base_rtt ()).p
-  in
-  let lo = 0. and hi = 100_000. in
-  if loss_at lo <= target_p then 0.
-  else if loss_at hi >= target_p then hi
+  (* Larger buffers inflate RTT, which slows the flows and lowers
+     equilibrium loss, so loss is monotone non-increasing in the buffer
+     size.  Bisect on whole packets: buffers are integers, and the loss is
+     a step function of the integer buffer — a continuous bisection can
+     converge inside a step and truncate to a buffer one packet short of
+     the target. *)
+  let loss_at buffer = (solve ~b ~flows ~capacity ~buffer ~base_rtt ()).p in
+  if loss_at 0 <= target_p then 0
+  else if loss_at buffer_cap > target_p then buffer_cap
   else begin
-    let rec bisect lo hi n =
-      if Int.equal n 0 then (lo +. hi) /. 2.
-      else
-        let mid = (lo +. hi) /. 2. in
-        if loss_at mid > target_p then bisect mid hi (n - 1)
-        else bisect lo mid (n - 1)
+    (* Invariant: [loss_at lo > target_p >= loss_at hi]. *)
+    let rec bisect lo hi =
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if loss_at mid > target_p then bisect mid hi else bisect lo mid
+      end
     in
-    bisect lo hi 60
+    bisect 0 buffer_cap
   end

@@ -44,7 +44,14 @@ val solve :
 
 val required_buffer :
   ?b:int -> ?target_p:float -> flows:int -> capacity:float -> base_rtt:float ->
-  unit -> float
-(** Buffer (packets) that keeps equilibrium loss at [target_p] (default
-    0.01): inverts the bandwidth-delay relation at the model's operating
-    point — a provisioning helper built on {!solve}. *)
+  unit -> int
+(** Smallest drop-tail buffer (whole packets) whose equilibrium loss under
+    {!solve} (with its defaults) is at most [target_p] (default 0.01): a
+    provisioning helper that inverts the bandwidth-delay relation at the
+    model's operating point.
+
+    Round-trip guarantee:
+    [(solve ~buffer:(required_buffer ~target_p ...) ...).p <= target_p]
+    whenever any buffer up to 100_000 packets meets the target.  Returns
+    [0] when even an empty buffer does, and caps at 100_000 when none does
+    (check the returned equilibrium before trusting the cap). *)

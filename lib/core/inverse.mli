@@ -16,9 +16,16 @@ val loss_for_rate :
   float ->
   float option
 (** [loss_for_rate model target] finds [p] in [\[lo, hi\]] (defaults
-    [1e-9, 0.999]) with [model p = target], assuming [model] is decreasing
-    in [p].  [None] when the target lies outside [model hi .. model lo].
-    [tolerance] is relative on [p] (default 1e-9). *)
+    [1e-9, 0.999]) with [model p = target], assuming [model] is
+    non-increasing in [p].  [None] when the target lies outside
+    [model hi .. model lo].  [tolerance] is relative on [log p] (default
+    1e-9).
+
+    When several losses attain the target — every capped model plateaus at
+    [Wm/RTT] below the window-limited knee — the result is the {e largest}
+    such [p] (within tolerance): the returned value is a loss {e budget},
+    the worst loss under which the rate is still met.  The returned [p]
+    always satisfies [model p >= target]. *)
 
 val tcp_friendly_rate : Params.t -> float -> float
 (** The fair-share send rate a non-TCP flow should adopt under measured
@@ -29,7 +36,10 @@ val tcp_friendly_rate_simple : Params.t -> float -> float
 
 val loss_budget : Params.t -> rate:float -> float option
 (** Largest loss probability under which the full model still sustains
-    [rate] (packets/s). *)
+    [rate] (packets/s).  Eq. (32) is only piecewise monotone — the send
+    rate jumps upward where [E[W_u]] crosses [W_m] — so this searches the
+    unconstrained and window-limited segments separately rather than
+    trusting a single bisection across the knee. *)
 
 val rate_in_bytes : mss:int -> float -> float
 (** Convert packets/s to bytes/s at a given maximum segment size. *)

@@ -1,0 +1,117 @@
+module Params = Pftk_core.Params
+module Serialize = Pftk_trace.Serialize
+
+type t = {
+  params : Params.t;
+  p : float;
+  p2 : float;
+  target_p : float;
+  flows : int;
+  capacity : float;
+  base_rtt : float;
+  fp_target_p : float;
+  trace : Pftk_trace.Event.t list;
+  adversarial : Pftk_trace.Event.t list;
+}
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  line "# pftk-selfcheck case v1";
+  line "rtt %h" c.params.Params.rtt;
+  line "t0 %h" c.params.Params.t0;
+  line "b %d" c.params.Params.b;
+  line "wm %d" c.params.Params.wm;
+  line "p %h" c.p;
+  line "p2 %h" c.p2;
+  line "target_p %h" c.target_p;
+  line "flows %d" c.flows;
+  line "capacity %h" c.capacity;
+  line "base_rtt %h" c.base_rtt;
+  line "fp_target_p %h" c.fp_target_p;
+  line "trace %d" (List.length c.trace);
+  List.iter (fun e -> line "%s" (Serialize.line_of_event e)) c.trace;
+  line "adversarial %d" (List.length c.adversarial);
+  List.iter (fun e -> line "%s" (Serialize.line_of_event e)) c.adversarial;
+  Buffer.contents buf
+
+exception Parse of string
+
+let of_string s =
+  let lines = Array.of_list (String.split_on_char '\n' s) in
+  let pos = ref 0 in
+  (* Scalars and counted blocks both live on data lines; comments and
+     blanks in between are legal so pinned corpus files can be annotated. *)
+  let rec next_data () =
+    if !pos >= Array.length lines then raise (Parse "unexpected end of case")
+    else begin
+      let l = String.trim lines.(!pos) in
+      incr pos;
+      if String.length l = 0 || l.[0] = '#' then next_data () else l
+    end
+  in
+  let expect key =
+    let l = next_data () in
+    match String.index_opt l ' ' with
+    | Some i when String.equal (String.sub l 0 i) key ->
+        String.sub l (i + 1) (String.length l - i - 1)
+    | _ -> raise (Parse (Printf.sprintf "expected %S field, got %S" key l))
+  in
+  let floatv key =
+    let v = expect key in
+    try float_of_string v
+    with _ -> raise (Parse (Printf.sprintf "bad float for %S: %S" key v))
+  in
+  let intv key =
+    let v = expect key in
+    try int_of_string v
+    with _ -> raise (Parse (Printf.sprintf "bad int for %S: %S" key v))
+  in
+  let events key =
+    let n = intv key in
+    if n < 0 then raise (Parse (Printf.sprintf "negative %S count" key));
+    List.init n (fun _ ->
+        let l = next_data () in
+        match Serialize.event_of_line l with
+        | Some e -> e
+        | None -> raise (Parse (Printf.sprintf "expected event line, got %S" l))
+        | exception Serialize.Error e -> raise (Parse (Serialize.error_message e)))
+  in
+  match
+    let rtt = floatv "rtt" in
+    let t0 = floatv "t0" in
+    let b = intv "b" in
+    let wm = intv "wm" in
+    let p = floatv "p" in
+    let p2 = floatv "p2" in
+    let target_p = floatv "target_p" in
+    let flows = intv "flows" in
+    let capacity = floatv "capacity" in
+    let base_rtt = floatv "base_rtt" in
+    let fp_target_p = floatv "fp_target_p" in
+    let trace = events "trace" in
+    let adversarial = events "adversarial" in
+    {
+      params = { Params.rtt; t0; b; wm };
+      p;
+      p2;
+      target_p;
+      flows;
+      capacity;
+      base_rtt;
+      fp_target_p;
+      trace;
+      adversarial;
+    }
+  with
+  | c -> Ok c
+  | exception Parse msg -> Error msg
+
+let equal a b = String.equal (to_string a) (to_string b)
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,196 @@
+module Rng = Pftk_stats.Rng
+module Params = Pftk_core.Params
+module Event = Pftk_trace.Event
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let rng_for ~seed ~index =
+  if index < 0 then invalid_arg "Gen.rng_for: index must be >= 0";
+  let seed = Int64.(add seed (mul (of_int (index + 1)) golden_gamma)) in
+  Rng.create ~seed ()
+
+let log_uniform rng lo hi = exp (Rng.float_range rng (log lo) (log hi))
+
+let profiles =
+  Array.of_list
+    (List.map Pftk_dataset.Path_profile.params
+       (Pftk_dataset.Path_profile.all @ Pftk_dataset.Path_profile.extras))
+
+(* Hand-picked parameter sets at the edges of the documented domain. *)
+let corners =
+  [|
+    Params.make ~b:1 ~wm:2 ~rtt:1e-3 ~t0:1e-3 ();
+    Params.make ~b:2 ~wm:2 ~rtt:5. ~t0:500. ();
+    Params.make ~b:2 ~wm:256 ~rtt:1e-3 ~t0:0.1 ();
+    Params.make ~b:1 ~rtt:0.5 ~t0:1. () (* unlimited window *);
+    Params.make ~b:2 ~wm:3 ~rtt:4.726 ~t0:18.407 () (* the modem path *);
+    Params.make ~b:2 ~wm:8 ~rtt:0.02 ~t0:2. ();
+  |]
+
+let params rng =
+  match Rng.int rng 8 with
+  | 0 | 1 -> profiles.(Rng.int rng (Array.length profiles))
+  | 2 -> corners.(Rng.int rng (Array.length corners))
+  | _ ->
+      let rtt = log_uniform rng 1e-3 5. in
+      let t0 = rtt *. Rng.float_range rng 1. 100. in
+      let b = if Rng.bool rng then 2 else 1 in
+      let wm =
+        if Rng.bernoulli rng 0.15 then Params.unlimited_window
+        else 2 + Rng.int rng 255
+      in
+      Params.make ~b ~wm ~rtt ~t0 ()
+
+let loss rng = log_uniform rng 1e-4 0.5
+
+(* --- Well-formed session traces ----------------------------------------- *)
+
+let trace rng =
+  let n = 10 + Rng.int rng 200 in
+  let t = ref 0. in
+  let seq = ref 0 in
+  let acked = ref 0 in
+  let backoff = ref 0 in
+  let events = ref [] in
+  let emit kind = events := { Event.time = !t; kind } :: !events in
+  emit (Event.Round_started { index = 0; window = 1. });
+  for _ = 1 to n do
+    t := !t +. Rng.exponential rng 0.02;
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        let retransmission = !seq > !acked && Rng.bernoulli rng 0.2 in
+        let s =
+          if retransmission then !acked
+          else begin
+            incr seq;
+            !seq - 1
+          end
+        in
+        backoff := 0;
+        emit
+          (Event.Segment_sent
+             {
+               seq = s;
+               retransmission;
+               cwnd = Rng.float_range rng 1. 64.;
+               flight = max 0 (!seq - !acked);
+             })
+    | 4 | 5 | 6 ->
+        (* Duplicate ack a third of the time, cumulative progress else. *)
+        if Rng.bernoulli rng 0.33 then emit (Event.Ack_received { ack = !acked })
+        else begin
+          acked := min !seq (!acked + 1 + Rng.int rng 3);
+          backoff := 0;
+          emit (Event.Ack_received { ack = !acked })
+        end
+    | 7 ->
+        (* Timer chains double the backoff counter, like a real sender. *)
+        incr backoff;
+        emit
+          (Event.Timer_fired
+             { backoff = !backoff; rto = Rng.float_range rng 0.2 3. })
+    | 8 ->
+        if !seq > !acked then begin
+          backoff := 0;
+          emit (Event.Fast_retransmit_triggered { seq = !acked })
+        end
+        else begin
+          let sample = Rng.float_range rng 0.01 1. in
+          emit (Event.Rtt_sample { sample; srtt = sample; rto = 4. *. sample })
+        end
+    | _ ->
+        let sample = Rng.float_range rng 0.01 1. in
+        let srtt = Rng.float_range rng 0.01 1. in
+        emit (Event.Rtt_sample { sample; srtt; rto = 4. *. srtt })
+  done;
+  if Rng.bool rng then begin
+    t := !t +. Rng.exponential rng 0.02;
+    emit Event.Connection_closed
+  end;
+  List.rev !events
+
+(* --- Adversarial traces -------------------------------------------------- *)
+
+let special_floats =
+  [|
+    Float.nan;
+    Float.infinity;
+    Float.neg_infinity;
+    -0.;
+    0.;
+    0x1p-1074 (* smallest denormal *);
+    -0x1p-1074;
+    Float.max_float;
+    -.Float.max_float;
+    Float.min_float;
+    1e-300;
+    -1e300;
+  |]
+
+let special_ints = [| 0; 1; -1; max_int; min_int; max_int - 1; min_int + 1 |]
+
+let any_float rng =
+  if Rng.bernoulli rng 0.6 then
+    special_floats.(Rng.int rng (Array.length special_floats))
+  else Rng.float_range rng (-1e9) 1e9
+
+let any_int rng =
+  if Rng.bernoulli rng 0.6 then
+    special_ints.(Rng.int rng (Array.length special_ints))
+  else Rng.int rng 1_000_000 - 500_000
+
+let adversarial_trace rng =
+  let n = 1 + Rng.int rng 30 in
+  List.init n (fun _ ->
+      let time = any_float rng in
+      let kind =
+        match Rng.int rng 7 with
+        | 0 ->
+            Event.Segment_sent
+              {
+                seq = any_int rng;
+                retransmission = Rng.bool rng;
+                cwnd = any_float rng;
+                flight = any_int rng;
+              }
+        | 1 -> Event.Ack_received { ack = any_int rng }
+        | 2 -> Event.Timer_fired { backoff = any_int rng; rto = any_float rng }
+        | 3 -> Event.Fast_retransmit_triggered { seq = any_int rng }
+        | 4 ->
+            Event.Rtt_sample
+              {
+                sample = any_float rng;
+                srtt = any_float rng;
+                rto = any_float rng;
+              }
+        | 5 -> Event.Round_started { index = any_int rng; window = any_float rng }
+        | _ -> Event.Connection_closed
+      in
+      { Event.time; kind })
+
+(* --- The full case ------------------------------------------------------- *)
+
+let case ~seed ~index =
+  let rng = rng_for ~seed ~index in
+  let params = params rng in
+  let p = loss rng in
+  let p2 = p +. ((1. -. p) *. Rng.float_range rng 0.01 0.9) in
+  let target_p = log_uniform rng 1e-3 0.3 in
+  let flows = 1 + Rng.int rng 64 in
+  let capacity = Rng.float_range rng 50. 5000. in
+  let base_rtt = Rng.float_range rng 0.005 0.5 in
+  let fp_target_p = log_uniform rng 1e-3 0.1 in
+  let trace = trace rng in
+  let adversarial = adversarial_trace rng in
+  {
+    Case.params;
+    p;
+    p2;
+    target_p;
+    flows;
+    capacity;
+    base_rtt;
+    fp_target_p;
+    trace;
+    adversarial;
+  }

@@ -1,0 +1,38 @@
+(** Deterministic case generation.
+
+    Every case is a pure function of [(seed, index)]: case [index] draws
+    from an {!Pftk_stats.Rng} seeded with
+    [seed + (index + 1) * 0x9E3779B97F4A7C15] (the SplitMix64 golden-gamma
+    increment), so the stream for case [i] never depends on how many cases
+    ran before it or on which domain ran it.  That is what makes
+    [--jobs 1] and [--jobs 4] byte-identical.
+
+    The generation domain is deliberately documented because the invariant
+    catalog's tolerances are calibrated against it: [rtt] in [1e-3, 5] s,
+    [t0/rtt] in [1, 100], [b] in {1, 2}, [wm] in [2, 256] or unlimited,
+    [p] log-uniform in [1e-4, 0.5).  A quarter of the cases reuse the
+    paper's measured path profiles ({!Pftk_dataset.Path_profile}) and a
+    few percent are hand-picked corner parameter sets. *)
+
+val rng_for : seed:int64 -> index:int -> Pftk_stats.Rng.t
+(** The per-case generator stream described above. *)
+
+val params : Pftk_stats.Rng.t -> Pftk_core.Params.t
+(** Random, profile-derived, or corner path parameters. *)
+
+val loss : Pftk_stats.Rng.t -> float
+(** Log-uniform in [\[1e-4, 0.5)]. *)
+
+val trace : Pftk_stats.Rng.t -> Pftk_trace.Event.t list
+(** A plausible sender session: finite floats, non-decreasing times
+    starting at 0, sends/acks/timeout chains/fast retransmits/RTT samples.
+    Safe for {!Pftk_trace.Recorder.record} and both analyzer modes. *)
+
+val adversarial_trace : Pftk_stats.Rng.t -> Pftk_trace.Event.t list
+(** Serialization stress: NaN, infinities, signed zeros, denormals,
+    huge magnitudes for every float field; [min_int]/[max_int] for every
+    int field.  Only {!Pftk_trace.Serialize.line_of_event} /
+    [event_of_line] are expected to survive this. *)
+
+val case : seed:int64 -> index:int -> Case.t
+(** The full case for [(seed, index)]. *)

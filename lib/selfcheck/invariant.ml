@@ -1,0 +1,327 @@
+module Params = Pftk_core.Params
+module Event = Pftk_trace.Event
+module Serialize = Pftk_trace.Serialize
+module Analyzer = Pftk_trace.Analyzer
+
+type verdict = Pass | Skip of string | Fail of string
+
+type t = {
+  id : string;
+  name : string;
+  description : string;
+  check : Case.t -> verdict;
+}
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+let skipf fmt = Printf.ksprintf (fun s -> Skip s) fmt
+
+(* [a <= b] up to [tol] relative slack on [b] (rates are positive). *)
+let le ~tol a b = a <= b +. (tol *. Float.max (Float.abs a) (Float.abs b))
+
+let window_cap (c : Case.t) =
+  let cap = float_of_int c.params.Params.wm /. c.params.Params.rtt in
+  let check_model acc kind =
+    match acc with
+    | Fail _ -> acc
+    | _ ->
+        let rate = Pftk_core.Model.send_rate kind c.params c.p in
+        if le ~tol:1e-9 rate cap then acc
+        else
+          failf "%s: rate %.17g > Wm/RTT %.17g at p=%h"
+            (Pftk_core.Model.name kind) rate cap c.p
+  in
+  List.fold_left check_model Pass
+    [
+      Pftk_core.Model.Full;
+      Pftk_core.Model.Full_approx_q;
+      Pftk_core.Model.Approximate;
+      Pftk_core.Model.Throughput_model;
+    ]
+
+let ordering_tdonly (c : Case.t) =
+  let td = Pftk_core.Tdonly.send_rate_capped c.params c.p in
+  let full = Pftk_core.Full_model.send_rate c.params c.p in
+  let approx_q =
+    Pftk_core.Full_model.send_rate ~q:Pftk_core.Qhat.Approximate c.params c.p
+  in
+  if not (le ~tol:1e-9 full td) then
+    failf "full %.17g > td-only %.17g at p=%h" full td c.p
+  else if not (le ~tol:1e-9 approx_q td) then
+    failf "full(approx-q) %.17g > td-only %.17g at p=%h" approx_q td c.p
+  else Pass
+
+let monotone_p (c : Case.t) =
+  let r1 = Pftk_core.Full_model.send_rate_unconstrained c.params c.p in
+  let r2 = Pftk_core.Full_model.send_rate_unconstrained c.params c.p2 in
+  if le ~tol:1e-12 r2 r1 then Pass
+  else failf "rate(p=%h)=%.17g < rate(p2=%h)=%.17g" c.p r1 c.p2 r2
+
+let markov_envelope (c : Case.t) =
+  let { Params.wm; rtt; t0; _ } = c.params in
+  if wm = Params.unlimited_window || wm < 2 || wm > 64 then
+    skipf "wm=%d outside calibrated [2, 64]" wm
+  else if c.p < 1e-3 || c.p > 0.3 then
+    skipf "p=%h outside calibrated [1e-3, 0.3]" c.p
+  else if t0 /. rtt > 100. then skipf "t0/rtt=%g outside calibrated [1, 100]" (t0 /. rtt)
+  else begin
+    let full = Pftk_core.Full_model.send_rate c.params c.p in
+    let markov = Pftk_core.Markov.send_rate (Pftk_core.Markov.solve c.params c.p) in
+    let ratio = markov /. full in
+    if ratio >= 0.6 && ratio <= 1.05 then Pass
+    else
+      failf "markov/full = %.17g outside [0.6, 1.05] (markov=%.17g full=%.17g p=%h)"
+        ratio markov full c.p
+  end
+
+(* Round-trip one model through Inverse.loss_for_rate.  The recovered loss
+   must attain the target rate, and must be the *largest* such loss: on a
+   rate plateau (window-limited regime) every p up to the plateau's right
+   edge attains the target, and a fair loss budget is the largest one. *)
+let inverse_one ~label ~model ~find (c : Case.t) =
+  let target = model c.target_p in
+  match find target with
+  | None -> failf "%s: no loss found for attainable target %.17g" label target
+  | Some p_star ->
+      let attained = model p_star in
+      if not (le ~tol:1e-6 target attained) then
+        failf "%s: rate at recovered p=%h is %.17g < target %.17g" label p_star
+          attained target
+      else if p_star < c.target_p *. (1. -. 1e-6) then
+        failf "%s: recovered p=%h is not the largest loss attaining the target (target_p=%h)"
+          label p_star c.target_p
+      else Pass
+
+let inverse_roundtrip (c : Case.t) =
+  let full p = Pftk_core.Full_model.send_rate c.params p in
+  match
+    inverse_one ~label:"full" ~model:full
+      ~find:(fun rate -> Pftk_core.Inverse.loss_budget c.params ~rate)
+      c
+  with
+  | Pass ->
+      let approx p = Pftk_core.Approx_model.send_rate c.params p in
+      inverse_one ~label:"approx" ~model:approx
+        ~find:(Pftk_core.Inverse.loss_for_rate approx)
+        c
+  | v -> v
+
+let float_bits_eq a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let kind_eq k1 k2 =
+  match (k1, k2) with
+  | ( Event.Segment_sent { seq = s1; retransmission = r1; cwnd = c1; flight = f1 },
+      Event.Segment_sent { seq = s2; retransmission = r2; cwnd = c2; flight = f2 }
+    ) ->
+      s1 = s2 && r1 = r2 && float_bits_eq c1 c2 && f1 = f2
+  | Event.Ack_received { ack = a1 }, Event.Ack_received { ack = a2 } -> a1 = a2
+  | ( Event.Timer_fired { backoff = b1; rto = r1 },
+      Event.Timer_fired { backoff = b2; rto = r2 } ) ->
+      b1 = b2 && float_bits_eq r1 r2
+  | ( Event.Fast_retransmit_triggered { seq = s1 },
+      Event.Fast_retransmit_triggered { seq = s2 } ) ->
+      s1 = s2
+  | ( Event.Rtt_sample { sample = s1; srtt = sr1; rto = r1 },
+      Event.Rtt_sample { sample = s2; srtt = sr2; rto = r2 } ) ->
+      float_bits_eq s1 s2 && float_bits_eq sr1 sr2 && float_bits_eq r1 r2
+  | ( Event.Round_started { index = i1; window = w1 },
+      Event.Round_started { index = i2; window = w2 } ) ->
+      i1 = i2 && float_bits_eq w1 w2
+  | Event.Connection_closed, Event.Connection_closed -> true
+  | _ -> false
+
+let event_eq e1 e2 =
+  float_bits_eq e1.Event.time e2.Event.time && kind_eq e1.Event.kind e2.Event.kind
+
+let serialize_roundtrip (c : Case.t) =
+  let check_event acc e =
+    match acc with
+    | Fail _ -> acc
+    | _ -> begin
+        let line = Serialize.line_of_event e in
+        match Serialize.event_of_line line with
+        | Some e' when event_eq e e' -> acc
+        | Some e' ->
+            failf "round-trip changed %S into %S" line (Serialize.line_of_event e')
+        | None -> failf "round-trip lost %S" line
+        | exception Serialize.Error err ->
+            failf "round-trip rejected %S: %s" line (Serialize.error_message err)
+      end
+  in
+  List.fold_left check_event Pass (c.trace @ c.adversarial)
+
+let delivery_ratio (c : Case.t) =
+  let ratio = Pftk_core.Throughput.delivery_ratio c.params c.p in
+  if ratio > 0. && ratio <= 1. +. 1e-9 then Pass
+  else failf "delivery ratio %.17g outside (0, 1] at p=%h" ratio c.p
+
+let buffer_cap = 100_000
+
+let required_buffer (c : Case.t) =
+  let { Case.flows; capacity; base_rtt; fp_target_p; _ } = c in
+  let solve buffer =
+    Pftk_core.Fixed_point.solve ~flows ~capacity ~buffer ~base_rtt ()
+  in
+  let at_cap = solve buffer_cap in
+  if at_cap.Pftk_core.Fixed_point.p > fp_target_p then
+    skipf "target p=%h unreachable: even buffer=%d leaves p=%h" fp_target_p
+      buffer_cap at_cap.Pftk_core.Fixed_point.p
+  else begin
+    let buffer =
+      Pftk_core.Fixed_point.required_buffer ~target_p:fp_target_p ~flows
+        ~capacity ~base_rtt ()
+    in
+    let eq = solve buffer in
+    if le ~tol:1e-6 eq.Pftk_core.Fixed_point.p fp_target_p then Pass
+    else
+      failf "buffer %d said sufficient but equilibrium p=%.17g > target %.17g"
+        buffer eq.Pftk_core.Fixed_point.p fp_target_p
+  end
+
+let summaries_eq ~at (stream : Analyzer.summary) (posthoc : Analyzer.summary) =
+  let float_exact label a b =
+    if a = b then None
+    else Some (Printf.sprintf "%s: streaming %.17g <> post-hoc %.17g" label a b)
+  in
+  let float_rel label a b =
+    if Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b) then
+      None
+    else Some (Printf.sprintf "%s: streaming %.17g <> post-hoc %.17g" label a b)
+  in
+  let int_exact label a b =
+    if a = b then None
+    else Some (Printf.sprintf "%s: streaming %d <> post-hoc %d" label a b)
+  in
+  let first_mismatch =
+    List.find_map Fun.id
+      [
+        float_exact "duration" stream.Analyzer.duration posthoc.Analyzer.duration;
+        int_exact "packets_sent" stream.Analyzer.packets_sent
+          posthoc.Analyzer.packets_sent;
+        int_exact "loss_indications" stream.Analyzer.loss_indications
+          posthoc.Analyzer.loss_indications;
+        int_exact "td_count" stream.Analyzer.td_count posthoc.Analyzer.td_count;
+        (if stream.Analyzer.to_by_backoff = posthoc.Analyzer.to_by_backoff then
+           None
+         else Some "to_by_backoff buckets differ");
+        float_exact "observed_p" stream.Analyzer.observed_p
+          posthoc.Analyzer.observed_p;
+        float_exact "avg_rtt" stream.Analyzer.avg_rtt posthoc.Analyzer.avg_rtt;
+        float_rel "avg_t0" stream.Analyzer.avg_t0 posthoc.Analyzer.avg_t0;
+        float_exact "send_rate" stream.Analyzer.send_rate
+          posthoc.Analyzer.send_rate;
+      ]
+  in
+  match first_mismatch with
+  | None -> None
+  | Some msg -> Some (Printf.sprintf "after %d events, %s" at msg)
+
+let online_mode mode (c : Case.t) =
+  let summary = Pftk_online.Summary.create ~mode () in
+  let recorder = Pftk_trace.Recorder.create () in
+  let n = List.length c.trace in
+  let step = Int.max 1 (n / 8) in
+  let mismatch = ref None in
+  List.iteri
+    (fun i e ->
+      Pftk_online.Summary.push summary e;
+      Pftk_trace.Recorder.record recorder ~time:e.Event.time e.Event.kind;
+      if !mismatch = None && (i mod step = step - 1 || i = n - 1) then
+        mismatch :=
+          summaries_eq ~at:(i + 1)
+            (Pftk_online.Summary.current summary)
+            (Analyzer.summarize ~mode recorder))
+    c.trace;
+  !mismatch
+
+let online_equivalence (c : Case.t) =
+  match online_mode `Ground_truth c with
+  | Some msg -> failf "ground-truth mode: %s" msg
+  | None -> begin
+      match online_mode `Infer c with
+      | Some msg -> failf "infer mode: %s" msg
+      | None -> Pass
+    end
+
+let corpus_roundtrip (c : Case.t) =
+  match Case.of_string (Case.to_string c) with
+  | Error msg -> failf "case text did not parse back: %s" msg
+  | Ok c' when Case.equal c c' -> Pass
+  | Ok _ -> Fail "case text parsed back to a different case"
+
+let all =
+  [
+    {
+      id = "C1";
+      name = "window-cap";
+      description = "capped models never exceed Wm/RTT";
+      check = window_cap;
+    };
+    {
+      id = "C2";
+      name = "ordering-tdonly";
+      description = "full model <= TD-only capped rate";
+      check = ordering_tdonly;
+    };
+    {
+      id = "C3";
+      name = "monotone-p";
+      description = "eq. (28) send rate non-increasing in p";
+      check = monotone_p;
+    };
+    {
+      id = "C4";
+      name = "markov-envelope";
+      description = "Markov/full ratio within [0.6, 1.05]";
+      check = markov_envelope;
+    };
+    {
+      id = "C5";
+      name = "inverse-roundtrip";
+      description = "loss_for_rate attains the target at the largest p";
+      check = inverse_roundtrip;
+    };
+    {
+      id = "C6";
+      name = "serialize-roundtrip";
+      description = "event line encoding is a bit-exact round trip";
+      check = serialize_roundtrip;
+    };
+    {
+      id = "C7";
+      name = "delivery-ratio";
+      description = "throughput <= send rate, ratio in (0, 1]";
+      check = delivery_ratio;
+    };
+    {
+      id = "C8";
+      name = "required-buffer";
+      description = "required_buffer's buffer meets the loss target";
+      check = required_buffer;
+    };
+    {
+      id = "C9";
+      name = "online-equivalence";
+      description = "streaming Summary matches post-hoc Analyzer";
+      check = online_equivalence;
+    };
+    {
+      id = "C10";
+      name = "corpus-roundtrip";
+      description = "Case text encoding round-trips";
+      check = corpus_roundtrip;
+    };
+  ]
+
+let find key =
+  let key = String.lowercase_ascii key in
+  List.find_opt
+    (fun inv ->
+      String.equal (String.lowercase_ascii inv.id) key
+      || String.equal inv.name key)
+    all
+
+let run inv case =
+  try inv.check case
+  with e -> Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))

@@ -1,0 +1,44 @@
+(** The invariant catalog: named, paper-guaranteed relations that every
+    generated case must satisfy.
+
+    {t
+    | id  | name                | relation checked                                       |
+    |-----|---------------------|--------------------------------------------------------|
+    | C1  | window-cap          | capped models never exceed [Wm/RTT] (§II-C)            |
+    | C2  | ordering-tdonly     | full model [<=] TD-only capped rate (timeouts only hurt)|
+    | C3  | monotone-p          | eq. (28) non-increasing in [p]                         |
+    | C4  | markov-envelope     | Markov/full ratio within the calibrated envelope       |
+    | C5  | inverse-roundtrip   | [loss_for_rate] attains the target at the largest [p]  |
+    | C6  | serialize-roundtrip | [line_of_event] / [event_of_line] bit-exact identity   |
+    | C7  | delivery-ratio      | throughput [<=] send rate, ratio in (0, 1]             |
+    | C8  | required-buffer     | provisioned buffer really meets the loss target        |
+    | C9  | online-equivalence  | streaming [Online.Summary] ≡ post-hoc [Analyzer]       |
+    | C10 | corpus-roundtrip    | [Case.of_string (Case.to_string c)] is [c]             |
+    }
+
+    Tolerances are calibrated against the {!Gen} domain: C1/C2/C7 hold to
+    1e-9 relative, C3 to 1e-12, C5/C8 to 1e-6; C4 uses the empirical
+    envelope [0.6, 1.05] on its restricted domain and skips outside it.
+    A check that raises is reported as [Fail] by {!run}, never as a crash. *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** Case outside the invariant's domain; reason says why. *)
+  | Fail of string  (** Violation; reason carries the observed numbers. *)
+
+type t = {
+  id : string;  (** ["C1"] .. ["C10"]. *)
+  name : string;  (** Short slug, e.g. ["window-cap"]. *)
+  description : string;  (** One line for reports and docs. *)
+  check : Case.t -> verdict;
+}
+
+val all : t list
+(** The whole catalog, in id order. *)
+
+val find : string -> t option
+(** Lookup by [id] or [name], case-insensitive. *)
+
+val run : t -> Case.t -> verdict
+(** {!check} with exceptions converted to [Fail] (an invariant must
+    never abort the harness). *)

@@ -1,0 +1,91 @@
+module Params = Pftk_core.Params
+
+let size c = String.length (Case.to_string c)
+
+(* Simple values each scalar is pulled toward; in trial order. *)
+let float_targets = [ 0.01; 0.1; 1. ]
+
+let round3 x =
+  if Float.is_nan x || Float.abs x = Float.infinity then x
+  else float_of_string (Printf.sprintf "%.3g" x)
+
+let list_shrinks xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      let n = List.length xs in
+      let half = n / 2 in
+      let firsts = List.filteri (fun i _ -> i < half) xs in
+      let seconds = List.filteri (fun i _ -> i >= half) xs in
+      let without_one =
+        if n <= 12 then List.init n (fun k -> List.filteri (fun i _ -> i <> k) xs)
+        else []
+      in
+      ([] :: firsts :: seconds :: without_one)
+      |> List.filter (fun ys -> List.length ys < n)
+
+let params_candidates (p : Params.t) =
+  [
+    { Params.rtt = 0.1; t0 = 1.; b = 2; wm = 16 };
+    { p with Params.b = 2 };
+    { p with Params.wm = 16 };
+    { p with Params.rtt = 0.1 };
+    { p with Params.t0 = 1. };
+    { p with Params.rtt = round3 p.Params.rtt };
+    { p with Params.t0 = round3 p.Params.t0 };
+  ]
+
+let candidates (c : Case.t) =
+  let traces = List.map (fun t -> { c with Case.trace = t }) (list_shrinks c.Case.trace) in
+  let advs =
+    List.map
+      (fun t -> { c with Case.adversarial = t })
+      (list_shrinks c.Case.adversarial)
+  in
+  let params = List.map (fun p -> { c with Case.params = p }) (params_candidates c.Case.params) in
+  let floats =
+    List.concat_map
+      (fun v ->
+        [
+          { c with Case.p = v };
+          { c with Case.p2 = Float.max v (c.Case.p +. 1e-6) };
+          { c with Case.target_p = v };
+          { c with Case.fp_target_p = v };
+          { c with Case.capacity = 1000. *. v };
+          { c with Case.base_rtt = v };
+        ])
+      float_targets
+  in
+  let rounded =
+    [
+      { c with Case.p = round3 c.Case.p };
+      { c with Case.p2 = round3 c.Case.p2 };
+      { c with Case.target_p = round3 c.Case.target_p };
+      { c with Case.fp_target_p = round3 c.Case.fp_target_p };
+      { c with Case.capacity = round3 c.Case.capacity };
+      { c with Case.base_rtt = round3 c.Case.base_rtt };
+    ]
+  in
+  let ints = [ { c with Case.flows = 1 }; { c with Case.flows = c.Case.flows / 2 } ] in
+  traces @ advs @ params @ ints @ floats @ rounded
+
+let minimize ~keep c0 =
+  let valid (c : Case.t) =
+    c.Case.p > 0. && c.Case.p < 1.
+    && c.Case.p2 > c.Case.p && c.Case.p2 < 1.
+    && c.Case.target_p > 0. && c.Case.target_p < 1.
+    && c.Case.fp_target_p > 0. && c.Case.fp_target_p < 1.
+    && c.Case.flows >= 1
+    && c.Case.capacity > 0. && c.Case.base_rtt > 0.
+    && c.Case.params.Params.rtt > 0. && c.Case.params.Params.t0 > 0.
+    && c.Case.params.Params.b >= 1 && c.Case.params.Params.wm >= 1
+  in
+  let rec go c =
+    let smaller =
+      List.find_opt
+        (fun c' -> valid c' && size c' < size c && keep c')
+        (candidates c)
+    in
+    match smaller with Some c' -> go c' | None -> c
+  in
+  go c0

@@ -1,0 +1,22 @@
+(** Counterexample minimization.
+
+    Greedy fixpoint search: from a failing case, repeatedly try simpler
+    candidate cases (shorter traces, round parameter values, default-ish
+    path parameters) and keep the first candidate that is strictly smaller
+    {e and} still fails.  "Size" is the length of the case's corpus text
+    ({!Case.to_string}), so minimization directly optimizes what gets
+    pinned under [test/corpus/].
+
+    Deterministic: candidates are enumerated in a fixed order, so the same
+    failing case always shrinks to the same counterexample. *)
+
+val size : Case.t -> int
+(** [String.length (Case.to_string c)]. *)
+
+val candidates : Case.t -> Case.t list
+(** One round of simplification attempts, in trial order. *)
+
+val minimize : keep:(Case.t -> bool) -> Case.t -> Case.t
+(** [minimize ~keep c] greedily applies {!candidates} while [keep] holds
+    (callers pass "this invariant still fails"); returns the fixpoint.
+    [keep c] itself need not be checked — [c] is assumed failing. *)

@@ -1,6 +1,22 @@
 (* %h floats round-trip exactly through hexadecimal notation; times use it
    so that re-analysis of a saved trace is bit-identical. *)
 
+type error = { file : string option; line : int; reason : string }
+
+exception Error of error
+
+let error_message { file; line; reason } =
+  match (file, line) with
+  | Some f, l when l > 0 -> Printf.sprintf "%s:%d: %s" f l reason
+  | Some f, _ -> Printf.sprintf "%s: %s" f reason
+  | None, l when l > 0 -> Printf.sprintf "line %d: %s" l reason
+  | None, _ -> reason
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Serialize.Error: " ^ error_message e)
+    | _ -> None)
+
 let line_of_event { Event.time; kind } =
   match kind with
   | Event.Segment_sent { seq; retransmission; cwnd; flight } ->
@@ -24,7 +40,10 @@ let write oc recorder =
   output_string oc "# pftk trace v1\n";
   Recorder.iter (write_event oc) recorder
 
-let malformed line = failwith (Printf.sprintf "Serialize: malformed line %S" line)
+let malformed line =
+  raise
+    (Error
+       { file = None; line = 0; reason = Printf.sprintf "malformed line %S" line })
 
 let event_of_line line =
   let line = String.trim line in
@@ -89,26 +108,37 @@ let event_of_line line =
     | _ -> fail ()
   end
 
-let iter_channel f ic =
+let iter_channel ?file f ic =
   let last = ref neg_infinity in
+  let lineno = ref 0 in
   try
     while true do
       let line = input_line ic in
+      incr lineno;
       match event_of_line line with
       | Some event ->
           if event.Event.time < !last then
-            failwith
-              (Printf.sprintf "Serialize: time went backwards at %h"
-                 event.Event.time);
+            raise
+              (Error
+                 {
+                   file;
+                   line = !lineno;
+                   reason =
+                     Printf.sprintf "time went backwards: %g s after %g s"
+                       event.Event.time !last;
+                 });
           last := event.Event.time;
           f event
       | None -> ()
+      | exception Error e ->
+          (* event_of_line knows neither the file nor the line number. *)
+          raise (Error { e with file; line = !lineno })
     done
   with End_of_file -> ()
 
-let read ic =
+let read ?file ic =
   let recorder = Recorder.create () in
-  iter_channel
+  iter_channel ?file
     (fun { Event.time; kind } -> Recorder.record recorder ~time kind)
     ic;
   recorder
@@ -119,8 +149,10 @@ let save path recorder =
 
 let load path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ~file:path ic)
 
 let iter_file path f =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> iter_channel f ic)
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> iter_channel ~file:path f ic)

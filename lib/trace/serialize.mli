@@ -6,33 +6,50 @@
     [send seq rexmit cwnd flight | ack n | timeout backoff rto |
      fastrexmit seq | rtt sample srtt rto | round index window | close].
     Lines starting with [#] are comments.  The format round-trips every
-    {!Event.t} exactly (property-tested). *)
+    {!Event.t} exactly (property-tested, including non-finite floats).
+
+    Bad input never escapes as a bare [Failure]: every parse problem is
+    reported as {!Error} carrying the source file (when known), the 1-based
+    line number of the offending line, and a human-readable reason. *)
+
+type error = {
+  file : string option;  (** Source path; [None] for bare channels/lines. *)
+  line : int;  (** 1-based offending line; [0] when unknown. *)
+  reason : string;  (** Human-readable description, offending content inline. *)
+}
+
+exception Error of error
+
+val error_message : error -> string
+(** ["file:line: reason"], omitting the parts that are unknown. *)
 
 val write_event : out_channel -> Event.t -> unit
 val write : out_channel -> Recorder.t -> unit
 
 val event_of_line : string -> Event.t option
-(** [None] on comments and blank lines; raises [Failure] on a malformed
-    line (with the offending content in the message). *)
+(** [None] on comments and blank lines; raises {!Error} (with [line = 0] —
+    a bare line has no position) on a malformed line, with the offending
+    content in [reason]. *)
 
-val read : in_channel -> Recorder.t
-(** Reads to EOF.  Raises [Failure] on malformed input or non-monotonic
-    timestamps. *)
+val read : ?file:string -> in_channel -> Recorder.t
+(** Reads to EOF.  Raises {!Error} on malformed input or non-monotonic
+    timestamps, locating the offending line; [file] seeds the error's
+    location. *)
 
-val iter_channel : (Event.t -> unit) -> in_channel -> unit
+val iter_channel : ?file:string -> (Event.t -> unit) -> in_channel -> unit
 (** Streaming variant of {!read}: feeds each parsed event to the callback
     without building a recorder, so saved traces of any length can be
     replayed through the online estimators in O(1) memory.  Same failure
     contract as {!read}. *)
 
 val iter_file : string -> (Event.t -> unit) -> unit
-(** {!iter_channel} over a file path. *)
+(** {!iter_channel} over a file path; errors carry the path. *)
 
 val save : string -> Recorder.t -> unit
 (** Write to a file path. *)
 
 val load : string -> Recorder.t
-(** Read from a file path. *)
+(** Read from a file path; errors carry the path. *)
 
 val line_of_event : Event.t -> string
 (** The single-line encoding (no trailing newline). *)

@@ -524,6 +524,111 @@ let test_loss_budget_monotone () =
         (hi_rate_budget < lo_rate_budget)
   | _ -> Alcotest.fail "both budgets should exist"
 
+(* Regression (selfcheck corpus c5-approx-plateau.case): below the
+   window-limited knee eq. (33) is flat at Wm/RTT, so many losses attain the
+   target.  loss_for_rate must return the largest of them — the loss
+   budget — not whichever the bisection first brushed. *)
+let test_inverse_plateau_largest_p () =
+  let params = Params.make ~rtt:0.1 ~t0:1. ~wm:16 () in
+  let target_p = 0x1.64840e1719f8p-10 in
+  let model p = Approx_model.send_rate params p in
+  let target = model target_p in
+  check_float "target sits on the plateau" target (model (target_p /. 2.));
+  match Inverse.loss_for_rate model target with
+  | None -> Alcotest.fail "plateau rate should be attainable"
+  | Some p_star ->
+      Alcotest.(check bool) "largest attaining p" true
+        (p_star >= target_p *. (1. -. 1e-6));
+      Alcotest.(check bool) "still attains the target" true
+        (model p_star >= target *. (1. -. 1e-9))
+
+(* Regression (selfcheck corpus c5-full-knee.case): eq. (32) jumps upward
+   where E[W_u] crosses W_m, so the set of losses attaining a rate can be
+   disconnected.  loss_budget must search the unconstrained segment beyond
+   the knee, not stop at the first (smaller) solution left of it. *)
+let test_loss_budget_knee () =
+  let params = Params.make ~b:1 ~wm:30 ~rtt:0x1.30d1c9cff2334p-7 ~t0:1. () in
+  let target_p = 0x1.a0849a46a3971p-9 in
+  let rate = Full_model.send_rate params target_p in
+  match Inverse.loss_budget params ~rate with
+  | None -> Alcotest.fail "rate attained at target_p should be attainable"
+  | Some p_star ->
+      Alcotest.(check bool) "budget not below the attaining loss" true
+        (p_star >= target_p *. (1. -. 1e-6));
+      Alcotest.(check bool) "rate still met at the budget" true
+        (Full_model.send_rate params p_star >= rate *. (1. -. 1e-6))
+
+(* Seeded sweeps over Gen.params: the cross-model ordering and the inverse
+   round-trip must hold on random paths, not just the hand-picked ones. *)
+let test_model_ordering_sweep () =
+  for index = 0 to 39 do
+    let rng = Pftk_selfcheck.Gen.rng_for ~seed:2024L ~index in
+    let params = Pftk_selfcheck.Gen.params rng in
+    let p = Pftk_selfcheck.Gen.loss rng in
+    let cap = float_of_int params.Params.wm /. params.Params.rtt in
+    let td_capped = Tdonly.send_rate_capped params p in
+    List.iter
+      (fun kind ->
+        (* The Markov chain solves a wm x wm system; keep the sweep cheap
+           and inside its well-conditioned regime. *)
+        let evaluate =
+          match kind with
+          | Model.Markov -> params.Params.wm <= 64 && p >= 1e-3
+          | _ -> true
+        in
+        if evaluate then begin
+          let rate = Model.send_rate kind params p in
+          if not (Float.is_finite rate && rate > 0.) then
+            Alcotest.failf "%s not positive/finite at index %d"
+              (Model.name kind) index;
+          (match kind with
+          | Model.Full | Model.Full_approx_q | Model.Approximate
+          | Model.Throughput_model | Model.Markov ->
+              if rate > cap *. (1. +. 1e-9) then
+                Alcotest.failf "%s above Wm/RTT at index %d" (Model.name kind)
+                  index
+          | Model.Td_only | Model.Td_only_sqrt -> ());
+          match kind with
+          | Model.Full | Model.Full_approx_q ->
+              if rate > td_capped *. (1. +. 1e-9) then
+                Alcotest.failf "%s above capped TD-only at index %d"
+                  (Model.name kind) index
+          | _ -> ()
+        end)
+      Model.all;
+    let full = Full_model.send_rate params p in
+    let recv = Throughput.throughput params p in
+    Alcotest.(check bool) "throughput <= send rate" true
+      (recv <= full *. (1. +. 1e-9))
+  done
+
+let test_inverse_sweep_roundtrip () =
+  for index = 0 to 39 do
+    let rng = Pftk_selfcheck.Gen.rng_for ~seed:2025L ~index in
+    let params = Pftk_selfcheck.Gen.params rng in
+    let target_p =
+      exp (Pftk_stats.Rng.float_range rng (log 1e-3) (log 0.3))
+    in
+    let full_rate = Full_model.send_rate params target_p in
+    (match Inverse.loss_budget params ~rate:full_rate with
+    | None -> Alcotest.failf "full: no budget at index %d" index
+    | Some p_star ->
+        if p_star < target_p *. (1. -. 1e-6) then
+          Alcotest.failf "full: budget %g below attaining loss %g (index %d)"
+            p_star target_p index;
+        if Full_model.send_rate params p_star < full_rate *. (1. -. 1e-6) then
+          Alcotest.failf "full: rate not met at budget (index %d)" index);
+    let approx p = Approx_model.send_rate params p in
+    match Inverse.loss_for_rate approx (approx target_p) with
+    | None -> Alcotest.failf "approx: no budget at index %d" index
+    | Some p_star ->
+        if p_star < target_p *. (1. -. 1e-6) then
+          Alcotest.failf "approx: budget %g below attaining loss %g (index %d)"
+            p_star target_p index;
+        if approx p_star < approx target_p *. (1. -. 1e-6) then
+          Alcotest.failf "approx: rate not met at budget (index %d)" index
+  done
+
 let test_rate_in_bytes () =
   check_float "bytes conversion" 14600. (Inverse.rate_in_bytes ~mss:1460 10.)
 
@@ -897,6 +1002,10 @@ let () =
           case "roundtrip" test_inverse_roundtrip;
           case "out of range" test_inverse_out_of_range;
           case "budget monotone" test_loss_budget_monotone;
+          case "plateau returns largest p" test_inverse_plateau_largest_p;
+          case "budget across the knee" test_loss_budget_knee;
+          case "model ordering sweep" test_model_ordering_sweep;
+          case "inverse sweep roundtrip" test_inverse_sweep_roundtrip;
           case "bytes conversion" test_rate_in_bytes;
           case "tcp-friendly aliases" test_tcp_friendly_consistency;
         ] );

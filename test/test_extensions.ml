@@ -239,8 +239,13 @@ let test_serialize_comments_skipped () =
 
 let test_serialize_malformed () =
   Alcotest.check_raises "garbage"
-    (Failure "Serialize: malformed line \"1.0 frobnicate 3\"") (fun () ->
-      ignore (Serialize.event_of_line "1.0 frobnicate 3"))
+    (Serialize.Error
+       {
+         Serialize.file = None;
+         line = 0;
+         reason = "malformed line \"1.0 frobnicate 3\"";
+       })
+    (fun () -> ignore (Serialize.event_of_line "1.0 frobnicate 3"))
 
 let test_serialize_file_roundtrip () =
   let recorder = Recorder.create () in
@@ -442,6 +447,36 @@ let test_required_buffer_monotone () =
   in
   (* A stricter (smaller) loss target needs a bigger buffer. *)
   Alcotest.(check bool) "monotone" true (buffer 0.002 > buffer 0.02)
+
+(* Regression (selfcheck corpus c8-buffer-truncation.case): the old
+   float-returning search truncated to a buffer whose equilibrium loss sat
+   just above the target.  The contract is a round trip: solving at the
+   returned buffer meets target_p, and one packet less does not. *)
+let test_required_buffer_roundtrip () =
+  List.iter
+    (fun (flows, capacity, base_rtt, target_p) ->
+      let buffer =
+        Fixed_point.required_buffer ~target_p ~flows ~capacity ~base_rtt ()
+      in
+      let loss_at buffer =
+        (Fixed_point.solve ~flows ~capacity ~buffer ~base_rtt ()).Fixed_point.p
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "buffer %d sufficient (flows=%d)" buffer flows)
+        true
+        (loss_at buffer <= target_p);
+      if buffer > 0 && buffer < 100_000 then
+        Alcotest.(check bool)
+          (Printf.sprintf "buffer %d minimal (flows=%d)" buffer flows)
+          true
+          (loss_at (buffer - 1) > target_p))
+    [
+      (31, 480., 0.035, 0.02);
+      (* the pinned c8 counterexample's equilibrium, verbatim *)
+      (28, 0x1.d34618a0bb68ep+11, 0x1.80528d4aca1f1p-3, 0x1.2cc8711e55722p-10);
+      (16, 800., 0.08, 0.002);
+      (8, 200., 0.05, 0.01);
+    ]
 
 let test_fixed_point_validation () =
   Alcotest.check_raises "flows < 1"
@@ -857,6 +892,7 @@ let () =
           case "more flows, more loss" test_fixed_point_more_flows_more_loss;
           slow_case "matches simulation" test_fixed_point_matches_simulation;
           case "required buffer" test_required_buffer_monotone;
+          case "required buffer round-trip" test_required_buffer_roundtrip;
           case "validation" test_fixed_point_validation;
         ] );
       ( "validation-experiment",

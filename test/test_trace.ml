@@ -13,6 +13,11 @@ let slow_case name f = Alcotest.test_case name `Slow f
 let check_float ?(eps = 1e-9) msg expected actual =
   Alcotest.(check (float eps)) msg expected actual
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.equal (String.sub s i n) sub || scan (i + 1)) in
+  scan 0
+
 let send ?(rexmit = false) seq =
   Event.Segment_sent { seq; retransmission = rexmit; cwnd = 10.; flight = 5 }
 
@@ -513,8 +518,44 @@ let test_serialize_rejects_malformed () =
   Alcotest.(check bool) "blank skipped" true
     (Pftk_trace.Serialize.event_of_line "   " = None);
   match Pftk_trace.Serialize.event_of_line "0.5 bogus 1 2 3" with
-  | exception Failure _ -> ()
+  | exception Pftk_trace.Serialize.Error { reason; _ } ->
+      Alcotest.(check bool) "reason carries the line" true
+        (contains ~sub:"0.5 bogus 1 2 3" reason)
   | _ -> Alcotest.fail "malformed line accepted"
+
+let with_trace_file content k =
+  let path = Filename.temp_file "pftk_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      k path)
+
+let test_serialize_error_locates_line () =
+  (* Line 1 is a comment, lines 2-3 parse, line 4 is garbage. *)
+  with_trace_file "# header\n0 send 0 false 0x1p+1 1\n0x1p-1 ack 1\nwhat is this\n"
+    (fun path ->
+      match Pftk_trace.Serialize.load path with
+      | _ -> Alcotest.fail "corrupt file accepted"
+      | exception Pftk_trace.Serialize.Error { file; line; reason } ->
+          Alcotest.(check (option string)) "file" (Some path) file;
+          Alcotest.(check int) "line" 4 line;
+          Alcotest.(check bool) "reason carries content" true
+            (contains ~sub:"what is this" reason))
+
+let test_serialize_error_backwards_time () =
+  with_trace_file "0x1p+1 ack 1\n0x1p-2 ack 2\n" (fun path ->
+      match Pftk_trace.Serialize.load path with
+      | _ -> Alcotest.fail "backwards time accepted"
+      | exception Pftk_trace.Serialize.Error ({ line; reason; _ } as e) ->
+          Alcotest.(check int) "line" 2 line;
+          (* Times are spelled in decimal, not %h hex floats. *)
+          Alcotest.(check bool) "human-readable times" true
+            (contains ~sub:"0.25 s after 2 s" reason);
+          Alcotest.(check bool) "message locates the file" true
+            (contains ~sub:":2: " (Pftk_trace.Serialize.error_message e)))
 
 let () =
   Alcotest.run "pftk_trace"
@@ -561,6 +602,8 @@ let () =
           case "line roundtrip 500 random events" test_serialize_line_roundtrip;
           case "file roundtrip" test_serialize_file_roundtrip;
           case "rejects malformed" test_serialize_rejects_malformed;
+          case "error locates line" test_serialize_error_locates_line;
+          case "backwards time readable" test_serialize_error_backwards_time;
         ] );
       ( "timeline",
         [

@@ -12,7 +12,11 @@
 #                             1e-9 relative) on all 24 Table II paths,
 #                             packet-level traces, prefixes, and
 #                             disk-replayed streams
-#   4. dune build --profile release
+#   4. pftk selfcheck      -- 200 seeded cases through the invariant
+#                             catalog (C1-C10): differential model
+#                             checks, inverse round-trips, serializer
+#                             round-trips, online/post-hoc agreement
+#   5. dune build --profile release
 #                          -- the optimized build the benchmarks use
 #
 # Each phase reports its wall-clock time.  Exits non-zero at the first
@@ -40,6 +44,9 @@ phase "dune runtest" dune runtest
 
 phase "equivalence suite (online vs post-hoc analyzer)" \
   dune exec test/test_online.exe -- test equivalence
+
+phase "pftk selfcheck (200 cases, seed 42)" \
+  dune exec bin/pftk.exe -- selfcheck --cases 200 --seed 42
 
 phase "dune build --profile release" dune build --profile release
 
