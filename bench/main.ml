@@ -191,10 +191,191 @@ let selfcheck_benchmark ~quick ~jobs =
   let elapsed = Unix.gettimeofday () -. t0 in
   (cases, float_of_int cases /. elapsed, Pftk_selfcheck.Runner.ok report)
 
-let write_timings_json ~path ~quick ~jobs ~streaming ~selfcheck timings =
+(* --- Batch engine throughput: evals/second through lib/batch -------------- *)
+
+(* The same deterministic mixed workload as [pftk bench-batch]:
+   ascending loss sweep (the realistic batch shape — branch-predictable),
+   cycling RTTs, both window regimes.  Throughput is steady-state: the
+   validation scan runs once, then repeated evaluation over the
+   unchanged columns measures the pure kernels (the scan's own rate is
+   reported separately). *)
+let batch_workload rows =
+  let c = Pftk_batch.Columns.create rows in
+  let wm_cycle = [| 0.; 8.; 32.; 1024. |] in
+  let denom = float_of_int (max 1 (rows - 1)) in
+  for i = 0 to rows - 1 do
+    let p = 10. ** (-4. +. (3. *. (float_of_int i /. denom))) in
+    let rtt = 0.02 +. (0.38 *. (float_of_int (i mod 13) /. 12.)) in
+    Pftk_batch.Columns.set c i ~p ~rtt ~t0:(4. *. rtt) ~wm:wm_cycle.(i mod 4)
+  done;
+  c
+
+let repeat_rate ~rows f =
+  let reps = ref 0 in
+  let start = Unix.gettimeofday () in
+  let elapsed = ref 0. in
+  while !elapsed < 0.4 do
+    f ();
+    incr reps;
+    elapsed := Unix.gettimeofday () -. start
+  done;
+  float_of_int rows *. float_of_int !reps /. !elapsed
+
+type batch_model_rates = {
+  bm_name : string;
+  bm_scalar : float;
+  bm_batch1 : float;
+  bm_batchj : float;
+}
+
+type batch_rates = {
+  batch_rows : int;
+  scan_rate : float;
+  models : batch_model_rates list;
+  inverse_rows : int;
+  inverse_batch : float;
+  inverse_scalar : float;
+}
+
+let batch_benchmark ~quick ~jobs =
+  let rows = if quick then 300_000 else 1_000_000 in
+  let c = batch_workload rows in
+  let out = Float.Array.make rows 0. in
+  let scan_rate =
+    repeat_rate ~rows (fun () ->
+        c.Pftk_batch.Columns.dirty <- true;
+        ignore (Pftk_batch.Scan.validate c : (unit, Pftk_batch.Scan.error) result))
+  in
+  let model_rates bm_name kernel =
+    let bm_scalar =
+      repeat_rate ~rows (fun () ->
+          for i = 0 to rows - 1 do
+            let p, rtt, t0, wm = Pftk_batch.Columns.row c i in
+            Float.Array.set out i
+              (Pftk_batch.Kernel.scalar_reference kernel ~p ~rtt ~t0 ~wm)
+          done)
+    in
+    let bm_batch1 =
+      repeat_rate ~rows (fun () ->
+          Pftk_batch.Engine.run_into ~jobs:1 kernel c out)
+    in
+    let bm_batchj =
+      repeat_rate ~rows (fun () ->
+          Pftk_batch.Engine.run_into ~jobs kernel c out)
+    in
+    { bm_name; bm_scalar; bm_batch1; bm_batchj }
+  in
+  let models =
+    [
+      model_rates "full" (Pftk_batch.Kernel.make ~b:2 Pftk_batch.Kernel.Full);
+      model_rates "full-approx-q"
+        (Pftk_batch.Kernel.make ~b:2 Pftk_batch.Kernel.Full_approx_q);
+      model_rates "approximate"
+        (Pftk_batch.Kernel.make ~b:2 Pftk_batch.Kernel.Approximate);
+      model_rates "td-only"
+        (Pftk_batch.Kernel.make ~b:2 Pftk_batch.Kernel.Td_only);
+      model_rates "tfrc"
+        (Pftk_batch.Kernel.make ~b:2 (Pftk_batch.Kernel.Tfrc 4.));
+    ]
+  in
+  (* The batched inverse runs ~240 model evaluations of bisection per
+     row; benchmark it on a smaller column set. *)
+  let inverse_rows = if quick then 2_000 else 10_000 in
+  let ci = batch_workload inverse_rows in
+  let rates = Float.Array.make inverse_rows 0. in
+  for i = 0 to inverse_rows - 1 do
+    Float.Array.set rates i (2. +. float_of_int (i mod 40))
+  done;
+  let iout = Float.Array.make inverse_rows 0. in
+  let inverse_batch =
+    repeat_rate ~rows:inverse_rows (fun () ->
+        Pftk_batch.Engine.loss_budget_into ~jobs ~b:2 ci ~rates iout)
+  in
+  let inverse_scalar =
+    repeat_rate ~rows:inverse_rows (fun () ->
+        for i = 0 to inverse_rows - 1 do
+          let _, rtt, t0, wm = Pftk_batch.Columns.row ci i in
+          let params =
+            Params.make ~b:2 ~wm:(Pftk_batch.Columns.wm_to_int wm) ~rtt ~t0 ()
+          in
+          let v =
+            match
+              Inverse.loss_budget params ~rate:(Float.Array.get rates i)
+            with
+            | Some p -> p
+            | None -> Float.nan
+          in
+          Float.Array.set iout i v
+        done)
+  in
+  { batch_rows = rows; scan_rate; models; inverse_rows; inverse_batch;
+    inverse_scalar }
+
+(* --- Fig. 10 phase profile ------------------------------------------------- *)
+
+(* Where a measurement campaign actually spends its time: simulating the
+   traces, summarizing them, or evaluating the models.  The split
+   (recorded in BENCH_results.json) documents why batching the model
+   evaluation cannot speed up fig10 itself — the campaign is
+   simulation-bound; the batch engine pays off when models are evaluated
+   in bulk without fresh simulation (grids, inversion, serving). *)
+type fig10_profile = {
+  simulation_seconds : float;
+  summarize_seconds : float;
+  model_eval_seconds : float;
+}
+
+let fig10_profile_benchmark ~quick =
+  let profile =
+    match Pftk_dataset.Path_profile.all with
+    | p :: _ -> p
+    | [] -> failwith "no path profiles"
+  in
+  let count = if quick then 10 else 30 in
+  let t0 = Unix.gettimeofday () in
+  let traces = Pftk_dataset.Workload.batch_100s ~seed:37L ~count profile in
+  let t1 = Unix.gettimeofday () in
+  let summaries =
+    List.map
+      (fun trace ->
+        Pftk_trace.Analyzer.summarize trace.Pftk_dataset.Workload.recorder)
+      traces
+  in
+  let t2 = Unix.gettimeofday () in
+  List.iter
+    (fun (s : Pftk_trace.Analyzer.summary) ->
+      if s.Pftk_trace.Analyzer.loss_indications > 0
+         && s.Pftk_trace.Analyzer.packets_sent > 0
+      then begin
+        let rtt =
+          if s.Pftk_trace.Analyzer.avg_rtt > 0. then s.Pftk_trace.Analyzer.avg_rtt
+          else profile.Pftk_dataset.Path_profile.rtt
+        in
+        let t0 =
+          if s.Pftk_trace.Analyzer.avg_t0 > 0. then s.Pftk_trace.Analyzer.avg_t0
+          else profile.Pftk_dataset.Path_profile.t0
+        in
+        let params =
+          Params.make ~rtt ~t0 ~wm:profile.Pftk_dataset.Path_profile.wm ()
+        in
+        let p = s.Pftk_trace.Analyzer.observed_p in
+        ignore (Full_model.send_rate params p : float);
+        ignore (Approx_model.send_rate params p : float);
+        ignore (Tdonly.send_rate ~rtt ~b:2 p : float)
+      end)
+    summaries;
+  let t3 = Unix.gettimeofday () in
+  {
+    simulation_seconds = t1 -. t0;
+    summarize_seconds = t2 -. t1;
+    model_eval_seconds = t3 -. t2;
+  }
+
+let write_timings_json ~path ~quick ~jobs ~streaming ~selfcheck ~batch
+    ~fig10_profile timings =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pftk-bench-v3\",\n";
+  Printf.fprintf oc "  \"schema\": \"pftk-bench-v4\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"artifacts\": [\n";
@@ -220,6 +401,33 @@ let write_timings_json ~path ~quick ~jobs ~streaming ~selfcheck timings =
     "  \"selfcheck\": { \"cases\": %d, \"cases_per_second\": %.0f, \"ok\": %b \
      },\n"
     cases cases_per_second ok;
+  Printf.fprintf oc "  \"batch\": {\n";
+  Printf.fprintf oc "    \"rows\": %d,\n" batch.batch_rows;
+  Printf.fprintf oc "    \"target_evals_per_second\": 1e8,\n";
+  Printf.fprintf oc "    \"scan_rows_per_second\": %.0f,\n" batch.scan_rate;
+  Printf.fprintf oc "    \"models\": [\n";
+  let nm = List.length batch.models in
+  List.iteri
+    (fun i m ->
+      Printf.fprintf oc
+        "      { \"name\": %S, \"scalar_evals_per_second\": %.0f, \
+         \"batch_evals_per_second\": %.0f, \
+         \"batch_jobs_evals_per_second\": %.0f, \"speedup\": %.2f }%s\n"
+        m.bm_name m.bm_scalar m.bm_batch1 m.bm_batchj
+        (m.bm_batch1 /. m.bm_scalar)
+        (if i = nm - 1 then "" else ","))
+    batch.models;
+  Printf.fprintf oc "    ],\n";
+  Printf.fprintf oc
+    "    \"inverse\": { \"rows\": %d, \"batch_rows_per_second\": %.0f, \
+     \"scalar_rows_per_second\": %.0f }\n"
+    batch.inverse_rows batch.inverse_batch batch.inverse_scalar;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc
+    "  \"fig10_profile\": { \"simulation_seconds\": %.6f, \
+     \"summarize_seconds\": %.6f, \"model_eval_seconds\": %.6f },\n"
+    fig10_profile.simulation_seconds fig10_profile.summarize_seconds
+    fig10_profile.model_eval_seconds;
   Printf.fprintf oc "  \"part1_total_seconds\": %.6f\n"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0. timings);
   Printf.fprintf oc "}\n";
@@ -257,10 +465,29 @@ let regenerate ~quick ~jobs =
   Format.fprintf err "%-22s %12.0f cases/s (%d cases, %s)@." "selfcheck"
     cases_per_second cases
     (if ok then "all invariants hold" else "FAILURES");
+  let batch = batch_benchmark ~quick ~jobs in
+  Format.fprintf err "# Batch engine (rows=%d, steady-state; target 1e8)@."
+    batch.batch_rows;
+  Format.fprintf err "%-22s %12.3g rows/s@." "domain scan" batch.scan_rate;
+  List.iter
+    (fun m ->
+      Format.fprintf err
+        "%-22s %12.3g evals/s  (scalar %.3g, %.2fx; jobs=%d %.3g)@." m.bm_name
+        m.bm_batch1 m.bm_scalar
+        (m.bm_batch1 /. m.bm_scalar)
+        jobs m.bm_batchj)
+    batch.models;
+  Format.fprintf err "%-22s %12.3g rows/s  (scalar %.3g)@." "inverse"
+    batch.inverse_batch batch.inverse_scalar;
+  let fig10_profile = fig10_profile_benchmark ~quick in
+  Format.fprintf err
+    "# Fig. 10 phase split: sim %.3f s, summarize %.3f s, models %.6f s@."
+    fig10_profile.simulation_seconds fig10_profile.summarize_seconds
+    fig10_profile.model_eval_seconds;
   Format.pp_print_flush err ();
   if tree_is_clean () then
     write_timings_json ~path:"BENCH_results.json" ~quick ~jobs ~streaming
-      ~selfcheck timings
+      ~selfcheck ~batch ~fig10_profile timings
   else
     Format.fprintf err
       "# BENCH_results.json not written: tree fails pftk-lint/pftk-race@."

@@ -388,7 +388,7 @@ let selfcheck_cmd =
   in
   let invariant_arg =
     let doc =
-      "Check only one invariant, by id (C1..C10) or name (e.g. \
+      "Check only one invariant, by id (C1..C11) or name (e.g. \
        inverse-roundtrip)."
     in
     Arg.(value & opt (some string) None & info [ "invariant" ] ~docv:"CK" ~doc)
@@ -436,12 +436,224 @@ let selfcheck_cmd =
   in
   let doc =
     "Property-based self-check: generate random cases and verify the \
-     paper-guaranteed invariants (C1..C10) across the whole suite, \
+     paper-guaranteed invariants (C1..C11) across the whole suite, \
      shrinking any counterexample.  Deterministic in --seed; the report \
      is byte-identical for every --jobs value."
   in
   Cmd.v (Cmd.info "selfcheck" ~doc)
     Term.(const run $ cases_arg $ seed_arg $ jobs_arg $ invariant_arg $ pin_arg)
+
+(* --- batch: serve / bench-batch ------------------------------------------- *)
+
+let batch_model_arg =
+  let doc =
+    "Batch model: full (default), full-approx-q, approximate, td-only, tfrc."
+  in
+  Arg.(value & opt string "full" & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let t0_factor_arg =
+  let doc = "The tfrc model's RTO stand-in: T0 = $(docv) * RTT." in
+  Arg.(value & opt float 4. & info [ "t0-factor" ] ~docv:"FACTOR" ~doc)
+
+let chunk_arg =
+  let doc =
+    "Rows per engine chunk (the parallel work grain).  Output is \
+     byte-identical for every $(docv) and --jobs value."
+  in
+  Arg.(
+    value
+    & opt int Pftk_batch.Engine.default_chunk
+    & info [ "chunk" ] ~docv:"ROWS" ~doc)
+
+let parse_batch_model ~t0_factor name =
+  match String.lowercase_ascii name with
+  | "tfrc" -> Pftk_batch.Kernel.Tfrc t0_factor
+  | other -> (
+      match Model.of_name other with
+      | Some Model.Full -> Pftk_batch.Kernel.Full
+      | Some Model.Full_approx_q -> Pftk_batch.Kernel.Full_approx_q
+      | Some Model.Approximate -> Pftk_batch.Kernel.Approximate
+      | Some Model.Td_only -> Pftk_batch.Kernel.Td_only
+      | Some _ ->
+          failwith
+            (Printf.sprintf
+               "model %S has no batch kernel (batch models: full, \
+                full-approx-q, approximate, td-only, tfrc)"
+               name)
+      | None -> failwith (Printf.sprintf "unknown model %S" name))
+
+let serve_cmd =
+  let file_arg =
+    let doc = "Read queries from $(docv) instead of stdin." in
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Answer with the columnar batch engine.  This is the default; the \
+       flag exists to make invocations explicit."
+    in
+    Arg.(value & flag & info [ "batch" ] ~doc)
+  in
+  let scalar_arg =
+    let doc =
+      "Answer each line with the guarded per-row scalar computation \
+       instead of the batch engine.  Same protocol and (bit-identical) \
+       output; exists to cross-check the engine."
+    in
+    Arg.(value & flag & info [ "scalar" ] ~doc)
+  in
+  let run model b t0_factor file batch scalar jobs chunk =
+    ignore batch;
+    let kernel = Pftk_batch.Kernel.make ~b (parse_batch_model ~t0_factor model) in
+    let ic =
+      match file with
+      | None -> stdin
+      | Some path -> (
+          try open_in path
+          with Sys_error msg ->
+            Format.eprintf "pftk serve: %s@." msg;
+            exit 2)
+    in
+    let outcome =
+      Pftk_batch.Stream.run ~jobs ~chunk ~scalar kernel ic stdout ~err:stderr
+    in
+    (match file with Some _ -> close_in ic | None -> ());
+    if
+      outcome.Pftk_batch.Stream.total > 0
+      && outcome.Pftk_batch.Stream.failed = outcome.Pftk_batch.Stream.total
+    then exit 1
+  in
+  let doc =
+    "Answer a newline-delimited query stream ('p rtt t0 wm' per line, wm=0 \
+     for unlimited) with one send rate per line.  Malformed or \
+     out-of-domain lines get the sentinel 'nan' on stdout and a 'pftk \
+     serve: line N: ...' diagnostic on stderr without aborting the stream; \
+     the exit status is nonzero only when every input line failed."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ batch_model_arg $ b_arg $ t0_factor_arg $ file_arg
+      $ batch_arg $ scalar_arg $ jobs_arg $ chunk_arg)
+
+let bench_batch_cmd =
+  let rows_arg =
+    let doc = "Rows per measured pass." in
+    Arg.(value & opt int 1_000_000 & info [ "rows" ] ~docv:"N" ~doc)
+  in
+  let min_speedup_arg =
+    let doc =
+      "Exit 1 unless single-thread batch throughput is at least $(docv) \
+       times the scalar baseline."
+    in
+    Arg.(value & opt float 0. & info [ "min-speedup" ] ~docv:"X" ~doc)
+  in
+  let scalar_model_arg =
+    let doc =
+      "Scalar baseline for the speedup ratio (default: the batch model \
+       itself, an apples-to-apples comparison).  Passing a different \
+       model makes the cross-model ratio explicit, e.g. batch \
+       'approximate' vs today's scalar 'full' default query path."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "scalar-model" ] ~docv:"MODEL" ~doc)
+  in
+  let run model scalar_model b t0_factor rows jobs min_speedup =
+    if rows < 1 then failwith "--rows must be >= 1";
+    let kernel = Pftk_batch.Kernel.make ~b (parse_batch_model ~t0_factor model) in
+    let scalar_kernel =
+      match scalar_model with
+      | None -> kernel
+      | Some name ->
+          Pftk_batch.Kernel.make ~b (parse_batch_model ~t0_factor name)
+    in
+    (* Deterministic synthetic workload spanning both regimes of
+       eq. (32): log-spaced p, a spread of RTTs, and a window cycle
+       including small (limiting) and unlimited values. *)
+    let wm_cycle = [| 0.; 8.; 32.; 1024. |] in
+    let cols = Pftk_batch.Columns.create rows in
+    let denom = float_of_int (max 1 (rows - 1)) in
+    for i = 0 to rows - 1 do
+      (* p ascends across the batch — the realistic shape (model sweeps
+         over a loss grid) and the branch-predictable one; DESIGN
+         "Batch evaluation" quantifies the shuffled-p penalty. *)
+      let p = 10. ** (-4. +. (3. *. (float_of_int i /. denom))) in
+      let rtt = 0.02 +. (0.38 *. (float_of_int (i mod 13) /. 12.)) in
+      Pftk_batch.Columns.set cols i ~p ~rtt ~t0:(4. *. rtt)
+        ~wm:wm_cycle.(i mod 4)
+    done;
+    (* Repeat each measured pass until >= 0.3 s of wall clock. *)
+    let throughput f =
+      let start = Unix.gettimeofday () in
+      let reps = ref 0 in
+      let elapsed = ref 0. in
+      while !elapsed < 0.3 do
+        f ();
+        incr reps;
+        elapsed := Unix.gettimeofday () -. start
+      done;
+      float_of_int (!reps * rows) /. !elapsed
+    in
+    let sink = ref 0. in
+    let scalar_rate =
+      throughput (fun () ->
+          for i = 0 to rows - 1 do
+            let p, rtt, t0, wm = Pftk_batch.Columns.row cols i in
+            sink :=
+              !sink
+              +. Pftk_batch.Kernel.scalar_reference scalar_kernel ~p ~rtt ~t0
+                   ~wm
+          done)
+    in
+    let out = Float.Array.make rows 0. in
+    let batch1_rate =
+      throughput (fun () ->
+          Pftk_batch.Engine.run_into ~jobs:1 kernel cols out)
+    in
+    let batchj_rate =
+      if jobs = 1 then batch1_rate
+      else throughput (fun () -> Pftk_batch.Engine.run_into ~jobs kernel cols out)
+    in
+    (* Bitwise sanity: the batch output must equal the batch model's own
+       scalar results on a prefix of the rows. *)
+    let check_rows = min rows 4096 in
+    Pftk_batch.Engine.run_into ~jobs:1 kernel cols out;
+    for i = 0 to check_rows - 1 do
+      let p, rtt, t0, wm = Pftk_batch.Columns.row cols i in
+      let want = Pftk_batch.Kernel.scalar_reference kernel ~p ~rtt ~t0 ~wm in
+      let got = Float.Array.get out i in
+      if not (Int64.equal (Int64.bits_of_float want) (Int64.bits_of_float got))
+      then begin
+        Format.eprintf
+          "pftk bench-batch: batch/scalar mismatch at row %d: %h vs %h@." i
+          got want;
+        exit 1
+      end
+    done;
+    let speedup = batch1_rate /. scalar_rate in
+    Format.fprintf ppf
+      "batch-bench: model=%s b=%d rows=%d@.  scalar (%s): %.3g evals/s@.  \
+       batch jobs=1: %.3g evals/s  (%.2fx vs scalar)@.  batch jobs=%d: %.3g \
+       evals/s@.  bitwise check: OK (%d rows)@."
+      (Pftk_batch.Kernel.name kernel)
+      b rows
+      (Pftk_batch.Kernel.name scalar_kernel)
+      scalar_rate batch1_rate speedup jobs batchj_rate check_rows;
+    if min_speedup > 0. && speedup < min_speedup then begin
+      Format.eprintf
+        "pftk bench-batch: speedup %.2fx below required %.2fx@." speedup
+        min_speedup;
+      exit 1
+    end
+  in
+  let doc =
+    "Measure batch-engine throughput against the per-row scalar query path \
+     on a synthetic workload, verify bit-identical results, and optionally \
+     enforce a minimum speedup (CI smoke)."
+  in
+  Cmd.v (Cmd.info "bench-batch" ~doc)
+    Term.(
+      const run $ batch_model_arg $ scalar_model_arg $ b_arg $ t0_factor_arg
+      $ rows_arg $ jobs_arg $ min_speedup_arg)
 
 (* --- experiment drivers --------------------------------------------------- *)
 
@@ -692,6 +904,8 @@ let main_cmd =
       simulate_cmd;
       analyze_cmd;
       live_cmd;
+      serve_cmd;
+      bench_batch_cmd;
       selfcheck_cmd;
       convergence_cmd;
       table1_cmd;

@@ -1,0 +1,47 @@
+type t = {
+  n : int;
+  p : floatarray;
+  rtt : floatarray;
+  t0 : floatarray;
+  wm : floatarray;
+  mutable dirty : bool;
+}
+
+let unlimited_wm = float_of_int Pftk_core.Params.unlimited_window
+
+let create n =
+  if n < 0 then invalid_arg "Batch.Columns.create: n must be >= 0";
+  {
+    n;
+    p = Float.Array.make n 0.;
+    rtt = Float.Array.make n 0.;
+    t0 = Float.Array.make n 0.;
+    wm = Float.Array.make n 0.;
+    dirty = true;
+  }
+
+let length t = t.n
+
+let set t i ~p ~rtt ~t0 ~wm =
+  if i < 0 || i >= t.n then invalid_arg "Batch.Columns.set: row out of range";
+  t.dirty <- true;
+  Float.Array.set t.p i p;
+  Float.Array.set t.rtt i rtt;
+  Float.Array.set t.t0 i t0;
+  Float.Array.set t.wm i (if wm <= 0. then unlimited_wm else wm)
+
+let row t i =
+  if i < 0 || i >= t.n then invalid_arg "Batch.Columns.row: row out of range";
+  ( Float.Array.get t.p i,
+    Float.Array.get t.rtt i,
+    Float.Array.get t.t0 i,
+    Float.Array.get t.wm i )
+
+(* The scalar side stores [wm] as an [int]; columns store
+   [float_of_int wm].  Both directions round-trip through the same
+   [float_of_int], so comparisons against the column value agree with
+   the scalar regime test.  Values at or above the unlimited sentinel
+   clamp back to it (guards [int_of_float] overflow for huge columns). *)
+let wm_to_int w =
+  if w >= unlimited_wm then Pftk_core.Params.unlimited_window
+  else int_of_float w

@@ -1,0 +1,42 @@
+(** Columnar parameter storage for the batch engine: one [floatarray]
+    per model input, so the evaluation kernels stream unboxed floats
+    with no per-row allocation.
+
+    The receiver window is kept as a float column holding
+    [float_of_int wm] (the scan additionally demands integrality); rows
+    set with [wm <= 0] store the scalar CLI's "unlimited" sentinel,
+    [float_of_int Params.unlimited_window]. *)
+
+type t = {
+  n : int;  (** row count *)
+  p : floatarray;  (** loss probability, per row *)
+  rtt : floatarray;  (** round-trip time (s), per row *)
+  t0 : floatarray;  (** initial timeout (s), per row *)
+  wm : floatarray;  (** receiver window (packets, integral), per row *)
+  mutable dirty : bool;
+      (** [true] iff a row may have changed since the last successful
+          {!Scan.validate}.  Maintained by {!set} (raises it) and the
+          scan (clears it) so repeated evaluation over unchanged columns
+          skips the rescan; treat as read-only outside those two. *)
+}
+
+val create : int -> t
+(** [create n] allocates [n] zero-filled rows (all-zero rows fail the
+    scan; fill every row before evaluating). *)
+
+val length : t -> int
+
+val set : t -> int -> p:float -> rtt:float -> t0:float -> wm:float -> unit
+(** Fill row [i]; [wm <= 0.] maps to {!unlimited_wm} (the CLI's
+    "no receiver limit" convention). *)
+
+val row : t -> int -> float * float * float * float
+(** [(p, rtt, t0, wm)] of row [i], as stored. *)
+
+val unlimited_wm : float
+(** [float_of_int Params.unlimited_window]. *)
+
+val wm_to_int : float -> int
+(** Inverse of the storage convention: the scalar [wm] an in-domain
+    column value denotes.  Values [>= unlimited_wm] clamp to
+    [Params.unlimited_window]. *)

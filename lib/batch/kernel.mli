@@ -1,0 +1,44 @@
+(** Specialized columnar evaluation loops for the throughput models.
+
+    A kernel is a model choice plus the batch-constant [b]; evaluation
+    walks [Columns.t] rows with zero per-row allocation.  The inner
+    loops assume their input range has passed {!Scan.validate} — all
+    guards are hoisted there — and reproduce the scalar float
+    arithmetic operation for operation, so for every in-domain row the
+    result is bit-identical to the corresponding guarded scalar call
+    (enforced by selfcheck invariant C11 and [test_batch]). *)
+
+type model =
+  | Full  (** eq. (32), Q-hat by eq. (24) — [Model.Full] *)
+  | Full_approx_q  (** eq. (32), Q-hat by eq. (25) — [Model.Full_approx_q] *)
+  | Approximate  (** eq. (33) — [Model.Approximate] *)
+  | Td_only  (** eq. (19), uncapped — [Model.Td_only] *)
+  | Tfrc of float
+      (** {!Pftk_core.Tfrc.fair_rate} with the given [t0_factor]; reads
+          only the [p] and [rtt] columns. *)
+
+type t
+
+val make : ?b:int -> model -> t
+(** [b] defaults to 2 (delayed ACKs), as everywhere in the suite.
+    Raises [Invalid_argument] if [b < 1] or a [Tfrc] factor is not
+    positive. *)
+
+val name : t -> string
+(** The scalar CLI's name for the kernel's model. *)
+
+val eval_into : t -> Columns.t -> pos:int -> len:int -> floatarray -> unit
+(** Evaluate rows [pos .. pos+len-1] into the same indices of the
+    output array.  Range- and length-checked, but the rows themselves
+    must already have passed the scan: out-of-domain values give
+    unspecified results (never exceptions).  Use {!Engine.run} for the
+    scanned front door. *)
+
+val scalar_reference : t -> p:float -> rtt:float -> t0:float -> wm:float -> float
+(** The guarded scalar computation this kernel batches — what a
+    per-row CLI invocation computes ([Model.send_rate] on a
+    [Params.make] of the row, or [Tfrc.fair_rate]).  The oracle for
+    every batch-vs-scalar equivalence test; raises on out-of-domain
+    inputs exactly as the scalar guards do.  [wm] is in the column
+    representation ({!Columns.wm_to_int} recovers the scalar value;
+    ignored, like [t0], by [Tfrc]). *)

@@ -1,0 +1,58 @@
+type error = { row : int; field : string; message : string }
+
+(* One predicate per field, spelled exactly like the scalar guards
+   ([Params.validate] / [Params.check_p]) so NaN and infinity behave
+   identically: [not (rtt > 0.)] rejects NaN and accepts [+inf], just as
+   the scalar path does.  The integrality demand on [wm] is batch-only —
+   the scalar side stores an [int] and cannot express the violation. *)
+let check_row ~p ~rtt ~t0 ~wm =
+  if not (rtt > 0.) then Error ("rtt", "Params: rtt must be positive")
+  else if not (t0 > 0.) then Error ("t0", "Params: t0 must be positive")
+  else if not (wm >= 1.) then Error ("wm", "Params: wm must be >= 1")
+  else if not (wm <= Columns.unlimited_wm) then
+    (* Beyond the sentinel the float column and the scalar [int] stop
+       corresponding (and [Float.is_integer] would wave [infinity]
+       through), so the scan draws the line exactly at the sentinel. *)
+    Error
+      ( "wm",
+        "batch: wm exceeds the unlimited-window sentinel (use wm <= 0 for \
+         unlimited)" )
+  else if not (Float.is_integer wm) then
+    Error ("wm", "batch: wm must be a whole number of packets")
+  else if not (p > 0. && p < 1.) then
+    Error ("p", Printf.sprintf "loss probability p=%g outside (0, 1)" p)
+  else Ok ()
+
+let validate (c : Columns.t) =
+  let n = c.Columns.n in
+  let pcol = c.Columns.p
+  and rcol = c.Columns.rtt
+  and tcol = c.Columns.t0
+  and wcol = c.Columns.wm in
+  (* Fast path: one inlined conjunction per row (a cross-function call
+     would box all four floats — the same no-flambda trap the kernels
+     avoid).  Only a failing row pays for [check_row], which rebuilds
+     the scalar-exact diagnostic. *)
+  let rec go i =
+    if i >= n then begin
+      c.Columns.dirty <- false;
+      Ok ()
+    end
+    else
+      let p = Float.Array.unsafe_get pcol i in
+      let rtt = Float.Array.unsafe_get rcol i in
+      let t0 = Float.Array.unsafe_get tcol i in
+      let wm = Float.Array.unsafe_get wcol i in
+      if
+        rtt > 0. && t0 > 0.
+        && wm >= 1.
+        && wm <= Columns.unlimited_wm
+        && Float.trunc wm = wm
+        && p > 0. && p < 1.
+      then go (i + 1)
+      else
+        match check_row ~p ~rtt ~t0 ~wm with
+        | Error (field, message) -> Error { row = i; field; message }
+        | Ok () -> go (i + 1)
+  in
+  go 0

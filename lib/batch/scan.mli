@@ -1,0 +1,25 @@
+(** The hoisted domain scan: validates whole columns once, up front, so
+    the evaluation kernels run guard-free ([_unchecked]) inner loops.
+
+    The predicates and messages mirror the scalar guards exactly
+    ({!Pftk_core.Params.validate} order [rtt, t0, wm] then
+    {!Pftk_core.Params.check_p}), including their NaN/infinity
+    behaviour: NaN fails every comparison and is rejected with the same
+    message a scalar call would raise; [+inf] durations are accepted,
+    as on the scalar side.  Two batch-only demands are added, because
+    the scalar [wm] is an [int]: the [wm] column must hold whole
+    numbers, no larger than {!Columns.unlimited_wm} (beyond which a
+    float column and an [int] window stop corresponding). *)
+
+type error = { row : int; field : string; message : string }
+
+val check_row :
+  p:float -> rtt:float -> t0:float -> wm:float -> (unit, string * string) result
+(** Validate one row; [Error (field, message)] identifies the first
+    failing field in the scalar validation order. *)
+
+val validate : Columns.t -> (unit, error) result
+(** Row-major scan of all four columns; the reported error is exactly
+    the one a scalar loop over the rows would raise first.  A successful
+    scan clears {!Columns.t.dirty}, letting the engine skip the rescan
+    on repeated evaluation of unchanged columns. *)

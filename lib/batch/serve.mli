@@ -1,0 +1,30 @@
+(** The line protocol of [pftk serve --batch].
+
+    Input grammar, one query per line (any amount of blanks/tabs
+    between fields; trailing [\r] tolerated):
+
+    {v <p> <rtt-seconds> <t0-seconds> <wm-packets> v}
+
+    Numbers are OCaml float literals ([float_of_string]); [wm <= 0]
+    denotes "no receiver limit" (the CLI's [--wm] convention).  Output
+    is exactly one line per input line: the send rate in packets/s
+    printed with ["%.17g"] (round-trips the double exactly), or the
+    sentinel ["nan"] for a rejected line.  Rejections (parse failures
+    and out-of-domain values) are reported on stderr as
+    ["pftk serve: line %d: <message>"] without aborting the stream. *)
+
+type query = { p : float; rtt : float; t0 : float; wm : float }
+
+val max_line_bytes : int
+(** 4096: longer lines are rejected (never evaluated), bounding
+    per-line work for untrusted input. *)
+
+val sentinel : string
+(** ["nan"]: the output line for a rejected input line. *)
+
+val format_rate : float -> string
+(** ["%.17g"] — shortest text that round-trips the exact double. *)
+
+val parse_line : string -> (query, string) result
+(** Syntax only; domain checking is {!Scan.check_row}'s job (so the
+    rejection messages match the scalar guards). *)

@@ -1,0 +1,91 @@
+type outcome = { total : int; failed : int }
+
+let run ?(jobs = 1) ?(chunk = Engine.default_chunk) ?(scalar = false) kernel ic
+    oc ~err =
+  if chunk < 1 then invalid_arg "Batch.Stream.run: chunk must be >= 1";
+  let total = ref 0 and failed = ref 0 in
+  let buf = Buffer.create (64 * 1024) in
+  (* Lines of the current batch, newest first: [Ok q] joins the packed
+     columns, [Error] lines keep their slot so output stays 1:1. *)
+  let pending = ref [] in
+  let npending = ref 0 and nok = ref 0 in
+  let flush_batch () =
+    if !npending > 0 then begin
+      let items = List.rev !pending in
+      let cols = Columns.create !nok in
+      let j = ref 0 in
+      List.iter
+        (fun item ->
+          match item with
+          | Ok (q : Serve.query) ->
+              Columns.set cols !j ~p:q.Serve.p ~rtt:q.Serve.rtt ~t0:q.Serve.t0
+                ~wm:q.Serve.wm;
+              incr j
+          | Error () -> ())
+        items;
+      let out =
+        if scalar then begin
+          (* Reference mode: the same stream answered by per-row
+             guarded scalar calls — the oracle for the CLI's
+             batch-vs-scalar byte-identity test. *)
+          let o = Float.Array.make !nok 0. in
+          let j = ref 0 in
+          List.iter
+            (fun item ->
+              match item with
+              | Ok (q : Serve.query) ->
+                  Float.Array.set o !j
+                    (Kernel.scalar_reference kernel ~p:q.Serve.p
+                       ~rtt:q.Serve.rtt ~t0:q.Serve.t0 ~wm:q.Serve.wm);
+                  incr j
+              | Error () -> ())
+            items;
+          o
+        end
+        else Engine.run ~jobs ~chunk kernel cols
+      in
+      let j = ref 0 in
+      List.iter
+        (fun item ->
+          (match item with
+          | Ok _ ->
+              Buffer.add_string buf (Serve.format_rate (Float.Array.get out !j));
+              incr j
+          | Error () -> Buffer.add_string buf Serve.sentinel);
+          Buffer.add_char buf '\n')
+        items;
+      output_string oc (Buffer.contents buf);
+      Buffer.clear buf;
+      pending := [];
+      npending := 0;
+      nok := 0
+    end
+  in
+  let reject msg =
+    incr failed;
+    Printf.fprintf err "pftk serve: line %d: %s\n" !total msg;
+    pending := Error () :: !pending
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       incr total;
+       (match Serve.parse_line line with
+       | Error msg -> reject msg
+       | Ok q -> (
+           match
+             Scan.check_row ~p:q.Serve.p ~rtt:q.Serve.rtt ~t0:q.Serve.t0
+               ~wm:q.Serve.wm
+           with
+           | Ok () ->
+               pending := Ok q :: !pending;
+               incr nok
+           | Error (_field, message) -> reject message));
+       incr npending;
+       if !npending >= chunk then flush_batch ()
+     done
+   with End_of_file -> ());
+  flush_batch ();
+  flush oc;
+  flush err;
+  { total = !total; failed = !failed }

@@ -1,0 +1,24 @@
+(** Drive the batch engine from a newline-delimited query stream (the
+    backend of [pftk serve --batch]).
+
+    Lines are buffered up to [chunk], packed into columns (rejected
+    lines keep an empty slot), evaluated in one engine pass, and
+    emitted strictly 1:1 and in order: every input line yields exactly
+    one output line — a rate or {!Serve.sentinel}.  Rejections go to
+    [err] as they are encountered (see {!Serve} for the message
+    contract); the stream never aborts on bad input. *)
+
+type outcome = { total : int; failed : int }
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?scalar:bool ->
+  Kernel.t ->
+  in_channel ->
+  out_channel ->
+  err:out_channel ->
+  outcome
+(** [scalar:true] answers each accepted line with the guarded
+    per-row scalar computation instead of the batch kernel — same
+    protocol, used to cross-check batch output byte-for-byte. *)

@@ -1,8 +1,6 @@
-let send_rate_uncapped ~rtt ~t0 ~b p =
-  Params.check_p p;
-  if not (rtt > 0. && t0 > 0.) then
-    invalid_arg "Approx_model: rtt and t0 must be positive";
-  if b < 1 then invalid_arg "Approx_model: b must be >= 1";
+(* Validated-input variants carry the arithmetic; the guarded exports
+   below delegate, so both spell the identical float expressions. *)
+let send_rate_uncapped_unchecked ~rtt ~t0 ~b p =
   let bf = float_of_int b in
   let td_term = rtt *. sqrt (2. *. bf *. p /. 3.) in
   let to_term =
@@ -13,9 +11,19 @@ let send_rate_uncapped ~rtt ~t0 ~b p =
   in
   1. /. (td_term +. to_term)
 
+let send_rate_uncapped ~rtt ~t0 ~b p =
+  Params.check_p p;
+  if not (rtt > 0. && t0 > 0.) then
+    invalid_arg "Approx_model: rtt and t0 must be positive";
+  if b < 1 then invalid_arg "Approx_model: b must be >= 1";
+  send_rate_uncapped_unchecked ~rtt ~t0 ~b p
+
+let send_rate_unchecked (params : Params.t) p =
+  Float.min
+    (float_of_int params.wm /. params.rtt)
+    (send_rate_uncapped_unchecked ~rtt:params.rtt ~t0:params.t0 ~b:params.b p)
+
 let send_rate (params : Params.t) p =
   Params.validate params;
   Params.check_p p;
-  Float.min
-    (float_of_int params.wm /. params.rtt)
-    (send_rate_uncapped ~rtt:params.rtt ~t0:params.t0 ~b:params.b p)
+  send_rate_unchecked params p

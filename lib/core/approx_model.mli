@@ -15,3 +15,13 @@ val send_rate : Params.t -> float -> float
 
 val send_rate_uncapped : rtt:float -> t0:float -> b:int -> float -> float
 (** Eq. (30): without the [Wm/RTT] clamp. *)
+
+val send_rate_unchecked : Params.t -> float -> float
+(** {!send_rate} without the domain guards (validated-input convention:
+    the caller vouches that [params] passes {!Params.validate} and
+    [0 < p < 1]).  Bit-identical to {!send_rate} on the domain. *)
+
+val send_rate_uncapped_unchecked :
+  rtt:float -> t0:float -> b:int -> float -> float
+(** {!send_rate_uncapped} without the domain guards; same contract as
+    {!send_rate_unchecked}. *)

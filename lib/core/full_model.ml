@@ -59,3 +59,32 @@ let send_rate ?q params p =
   Params.check_p p;
   if window_limited params p then send_rate_limited ?q params p
   else send_rate_unconstrained ?q params p
+
+(* Eq. (32) in one pass over already-validated inputs: [E[W_u]] is
+   computed once and reused for both the regime test and the
+   unconstrained branch, and every subterm spells the same float
+   expression as the guarded path above, so the result is bit-identical
+   to [send_rate] (held to it by selfcheck invariant C11). *)
+let send_rate_unchecked ?(q = Qhat.Closed) (params : Params.t) p =
+  let ew = Tdonly.e_w_unchecked ~b:params.b p in
+  let wm = float_of_int params.wm in
+  if ew >= wm then begin
+    let qhat = Qhat.eval_unchecked q ~p (Float.max 1. wm) in
+    let numer = ((1. -. p) /. p) +. wm +. (qhat /. (1. -. p)) in
+    let denom =
+      (params.rtt
+      *. ((float_of_int params.b /. 8. *. wm) +. ((1. -. p) /. (p *. wm)) +. 2.))
+      +. (qhat *. params.t0 *. Timeouts.f_unchecked p /. (1. -. p))
+    in
+    numer /. denom
+  end
+  else begin
+    let ex = Tdonly.e_x_unchecked ~b:params.b p in
+    let qhat = Qhat.eval_unchecked q ~p (Float.max 1. ew) in
+    let numer = ((1. -. p) /. p) +. ew +. (qhat /. (1. -. p)) in
+    let denom =
+      (params.rtt *. (ex +. 1.))
+      +. (qhat *. params.t0 *. Timeouts.f_unchecked p /. (1. -. p))
+    in
+    numer /. denom
+  end

@@ -16,6 +16,12 @@ val send_rate : ?q:Qhat.variant -> Params.t -> float -> float
     (default {!Qhat.Closed}, the paper's eq. 24); {!Qhat.Approximate} gives
     the [min(1, 3/w)] ablation. *)
 
+val send_rate_unchecked : ?q:Qhat.variant -> Params.t -> float -> float
+(** {!send_rate} without the domain guards and without the duplicate
+    [E[W_u]] evaluation (validated-input convention: the caller vouches
+    that [params] passes {!Params.validate} and [0 < p < 1]).
+    Bit-identical to {!send_rate} on the domain. *)
+
 val send_rate_unconstrained : ?q:Qhat.variant -> Params.t -> float -> float
 (** Eq. (28): the no-window-limit branch, regardless of [W_m]. *)
 

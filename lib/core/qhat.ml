@@ -42,20 +42,27 @@ let exact ~p w =
     Float.min 1. !acc
   end
 
+(* Validated-input variants ([0 < p < 1], [w >= 1] vouched by the
+   caller): same expressions as the guarded exports below. *)
+let approx_unchecked w = Float.min 1. (3. /. w)
+
 let approx w =
   if not (w >= 1.) then invalid_arg "Qhat.approx: w must be >= 1";
-  Float.min 1. (3. /. w)
+  approx_unchecked w
 
-let closed_form ~p w =
-  Params.check_p p;
-  if not (w >= 1.) then invalid_arg "Qhat.closed_form: w must be >= 1";
+let closed_form_unchecked ~p w =
   let denom = one_minus_pow_q p w in
-  if denom <= 0. then approx w
+  if denom <= 0. then approx_unchecked w
   else begin
     let q3 = pow_q p 3. in
     let numer = (1. -. q3) *. (1. +. (q3 *. one_minus_pow_q p (w -. 3.))) in
     Float.min 1. (numer /. denom)
   end
+
+let closed_form ~p w =
+  Params.check_p p;
+  if not (w >= 1.) then invalid_arg "Qhat.closed_form: w must be >= 1";
+  closed_form_unchecked ~p w
 
 type variant = Exact_sum | Closed | Approximate
 
@@ -65,3 +72,9 @@ let eval variant ~p w =
   | Exact_sum -> exact ~p (Int.max 1 (int_of_float (Float.round w)))
   | Closed -> closed_form ~p w
   | Approximate -> approx w
+
+let eval_unchecked variant ~p w =
+  match variant with
+  | Exact_sum -> exact ~p (Int.max 1 (int_of_float (Float.round w)))
+  | Closed -> closed_form_unchecked ~p w
+  | Approximate -> approx_unchecked w

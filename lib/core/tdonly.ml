@@ -6,21 +6,29 @@ let e_alpha p =
   Params.check_p p;
   1. /. p
 
-(* Eq. (13).  The constant (2+b)/(3b) appears twice; name it. *)
-let e_w ~b p =
-  check ~b p;
+(* Eq. (13).  The constant (2+b)/(3b) appears twice; name it.
+   The [_unchecked] variants carry the arithmetic; the checked exports
+   guard and delegate, so both spell the identical float expression. *)
+let e_w_unchecked ~b p =
   let c = float_of_int (2 + b) /. (3. *. float_of_int b) in
   c +. sqrt ((8. *. (1. -. p) /. (3. *. float_of_int b *. p)) +. (c *. c))
+
+let e_w ~b p =
+  check ~b p;
+  e_w_unchecked ~b p
 
 let e_w_asymptotic ~b p =
   check ~b p;
   sqrt (8. /. (3. *. float_of_int b *. p))
 
 (* Eq. (15). *)
-let e_x ~b p =
-  check ~b p;
+let e_x_unchecked ~b p =
   let c = float_of_int (2 + b) /. 6. in
   c +. sqrt ((2. *. float_of_int b *. (1. -. p) /. (3. *. p)) +. (c *. c))
+
+let e_x ~b p =
+  check ~b p;
+  e_x_unchecked ~b p
 
 let e_a ~rtt ~b p =
   check ~b p;
@@ -32,10 +40,14 @@ let e_y ~b p =
   ((1. -. p) /. p) +. e_w ~b p
 
 (* Eq. (19): B = E[Y] / E[A]. *)
+let send_rate_unchecked ~rtt ~b p =
+  (((1. -. p) /. p) +. e_w_unchecked ~b p)
+  /. (rtt *. (e_x_unchecked ~b p +. 1.))
+
 let send_rate ~rtt ~b p =
   check ~b p;
   if not (rtt > 0.) then invalid_arg "Tdonly.send_rate: rtt must be positive";
-  e_y ~b p /. e_a ~rtt ~b p
+  send_rate_unchecked ~rtt ~b p
 
 let send_rate_sqrt ~rtt ~b p =
   check ~b p;

@@ -12,11 +12,20 @@ val e_w : b:int -> float -> float
 (** Eq. (13): expected unconstrained window size at the end of a TDP,
     [E[W] = (2+b)/(3b) + sqrt(8(1-p)/(3bp) + ((2+b)/(3b))^2)]. *)
 
+val e_w_unchecked : b:int -> float -> float
+(** {!e_w} without the domain guards (validated-input convention: the
+    caller vouches for [0 < p < 1] and [b >= 1]).  Bit-identical to
+    {!e_w} on the domain. *)
+
 val e_w_asymptotic : b:int -> float -> float
 (** Eq. (14): [sqrt(8 / (3 b p))], the small-[p] leading term of {!e_w}. *)
 
 val e_x : b:int -> float -> float
 (** Eq. (15): expected number of rounds in a TDP. *)
+
+val e_x_unchecked : b:int -> float -> float
+(** {!e_x} without the domain guards; same contract as
+    {!e_w_unchecked}. *)
 
 val e_a : rtt:float -> b:int -> float -> float
 (** Eq. (16): expected TDP duration, [RTT * (E[X] + 1)]. *)
@@ -29,6 +38,10 @@ val e_alpha : float -> float
 
 val send_rate : rtt:float -> b:int -> float -> float
 (** Eq. (19): the exact TD-only send rate [E[Y] / E[A]], packets/second. *)
+
+val send_rate_unchecked : rtt:float -> b:int -> float -> float
+(** {!send_rate} without the domain guards (caller additionally vouches
+    for [rtt > 0]).  Bit-identical to {!send_rate} on the domain. *)
 
 val send_rate_sqrt : rtt:float -> b:int -> float -> float
 (** Eq. (20): the square-root approximation [(1/RTT) sqrt(3 / (2bp))]. *)

@@ -97,6 +97,22 @@ module Loss_history = struct
     | Some _ | None -> None
 end
 
+(* The throughput equation as a standalone function of (t0_factor, rtt,
+   p): exactly what [Controller.equation_rate] computes, factored out so
+   the batch engine can evaluate it columnwise.  [fair_rate_unchecked]
+   follows the validated-input convention (caller vouches for
+   [t0_factor > 0], [rtt > 0] and [0 < p < 1]). *)
+let fair_rate_unchecked ~t0_factor ~rtt p =
+  let params = Params.make ~rtt ~t0:(Float.max 1e-3 (t0_factor *. rtt)) () in
+  Approx_model.send_rate_unchecked params p
+
+let fair_rate ?(t0_factor = 4.) ~rtt p =
+  Params.check_p p;
+  if not (rtt > 0.) then invalid_arg "Tfrc.fair_rate: rtt must be positive";
+  if not (t0_factor > 0.) then
+    invalid_arg "Tfrc.fair_rate: t0_factor must be positive";
+  fair_rate_unchecked ~t0_factor ~rtt p
+
 module Controller = struct
   type t = {
     history : Loss_history.t;
@@ -145,10 +161,7 @@ module Controller = struct
     Params.check_p p;
     if not (rtt > 0.) then
       invalid_arg "Tfrc.Controller.equation_rate: rtt must be positive";
-    let params =
-      Params.make ~rtt ~t0:(Float.max 1e-3 (t.t0_factor *. rtt)) ()
-    in
-    Approx_model.send_rate params p
+    fair_rate_unchecked ~t0_factor:t.t0_factor ~rtt p
 
   let feedback_epoch t =
     match (Loss_history.loss_event_rate t.history, t.srtt) with

@@ -15,6 +15,19 @@
       feedback epoch (slow start); afterwards it paces at eq. (33)
       evaluated at the measured loss event rate. *)
 
+val fair_rate : ?t0_factor:float -> rtt:float -> float -> float
+(** [fair_rate ~rtt p] is the raw TFRC throughput equation — eq. (33)
+    with [T0 = max 1e-3 (t0_factor * rtt)], [b = 2] and no receiver
+    window — as a standalone function ([t0_factor] defaults to 4, the
+    RFC rule).  Identical to {!Controller.equation_rate} on a controller
+    with the same [t0_factor].  Raises [Invalid_argument] unless
+    [0 < p < 1], [rtt > 0] and [t0_factor > 0]. *)
+
+val fair_rate_unchecked : t0_factor:float -> rtt:float -> float -> float
+(** {!fair_rate} without the domain guards (validated-input convention:
+    the caller vouches for the domain).  Bit-identical to {!fair_rate}
+    on the domain. *)
+
 module Loss_history : sig
   type t
 

@@ -1,6 +1,11 @@
+(* Validated-input variant: callers (the batch engine's hoisted column
+   scan, the fused eq. (32) kernel) vouch for [0 < p < 1]. *)
+let f_unchecked p =
+  1. +. (p *. (1. +. (p *. (2. +. (p *. (4. +. (p *. (8. +. (p *. (16. +. (p *. 32.)))))))))))
+
 let f p =
   Params.check_p p;
-  1. +. (p *. (1. +. (p *. (2. +. (p *. (4. +. (p *. (8. +. (p *. (16. +. (p *. 32.)))))))))))
+  f_unchecked p
 
 let e_r p =
   Params.check_p p;

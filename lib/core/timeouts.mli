@@ -8,6 +8,11 @@
 val f : float -> float
 (** Eq. (29): [f(p) = 1 + p + 2p^2 + 4p^3 + 8p^4 + 16p^5 + 32p^6]. *)
 
+val f_unchecked : float -> float
+(** {!f} without the domain guard: the caller vouches for [0 < p < 1]
+    (validated-input convention — see DESIGN "Batch evaluation").
+    Bit-identical to {!f} on its domain. *)
+
 val e_r : float -> float
 (** Eq. (27): expected packet transmissions in a timeout sequence,
     [1 / (1-p)]. *)

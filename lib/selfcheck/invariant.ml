@@ -244,6 +244,159 @@ let online_equivalence (c : Case.t) =
       | None -> Pass
     end
 
+(* --- C11: batch evaluation ≡ scalar evaluation --------------------------- *)
+
+module Bcolumns = Pftk_batch.Columns
+module Bscan = Pftk_batch.Scan
+module Bkernel = Pftk_batch.Kernel
+module Bengine = Pftk_batch.Engine
+
+(* The two rejections only the batch side can express: the scalar [wm]
+   is an [int], so it can be neither fractional nor above the
+   float-sentinel.  Everything else the scan rejects, the scalar guards
+   must reject with the identical message. *)
+let batch_only_wm_message msg =
+  String.equal msg "batch: wm must be a whole number of packets"
+  || String.equal msg
+       "batch: wm exceeds the unlimited-window sentinel (use wm <= 0 for \
+        unlimited)"
+
+let scalar_eval kernel ~p ~rtt ~t0 ~wm =
+  match Bkernel.scalar_reference kernel ~p ~rtt ~t0 ~wm with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error msg
+
+let adversarial_floats (c : Case.t) =
+  let of_kind = function
+    | Event.Segment_sent { cwnd; _ } -> [ cwnd ]
+    | Event.Timer_fired { rto; _ } -> [ rto ]
+    | Event.Rtt_sample { sample; srtt; rto } -> [ sample; srtt; rto ]
+    | Event.Round_started { window; _ } -> [ window ]
+    | Event.Ack_received _ | Event.Fast_retransmit_triggered _
+    | Event.Connection_closed ->
+        []
+  in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  take 6
+    (List.concat_map
+       (fun e -> e.Event.time :: of_kind e.Event.kind)
+       c.adversarial)
+
+let batch_scalar_equiv (c : Case.t) =
+  let { Params.rtt; t0; b; _ } = c.params in
+  let wmf = float_of_int c.params.Params.wm in
+  let full_kernel = Bkernel.make ~b Bkernel.Full in
+  let models =
+    [
+      full_kernel;
+      Bkernel.make ~b Bkernel.Full_approx_q;
+      Bkernel.make ~b Bkernel.Approximate;
+      Bkernel.make ~b Bkernel.Td_only;
+      Bkernel.make ~b (Bkernel.Tfrc (Float.max 1e-3 (t0 /. rtt)));
+    ]
+  in
+  (* Candidate rows: the case's own losses, then adversarial floats
+     (NaN, infinities, signed zeros, subnormals, fractional and
+     out-of-range values, plus whatever the adversarial trace carries)
+     substituted into each field in turn. *)
+  let specials =
+    [
+      Float.nan;
+      Float.infinity;
+      Float.neg_infinity;
+      -0.;
+      0.;
+      -1.;
+      1.;
+      1.5;
+      0x1p-1074;
+      0x1p-1022;
+      Float.max_float;
+      0.3;
+    ]
+    @ adversarial_floats c
+  in
+  let rows =
+    (c.p, rtt, t0, wmf)
+    :: (c.p2, rtt, t0, wmf)
+    :: (c.target_p, rtt, t0, wmf)
+    :: (c.p, rtt, t0, Bcolumns.unlimited_wm)
+    :: List.concat_map
+         (fun s ->
+           [ (s, rtt, t0, wmf); (c.p, s, t0, wmf); (c.p, rtt, s, wmf);
+             (c.p, rtt, t0, s) ])
+         specials
+  in
+  (* Rejection parity: a scan rejection must mirror the scalar guard
+     (same message, [Params.validate] order) unless it is one of the
+     two batch-only wm demands. *)
+  let classify acc (p, rtt, t0, wm) =
+    match acc with
+    | Error _ -> acc
+    | Ok accepted -> begin
+        match Bscan.check_row ~p ~rtt ~t0 ~wm with
+        | Error (_field, msg) when batch_only_wm_message msg -> Ok accepted
+        | Error (_field, msg) -> begin
+            match scalar_eval full_kernel ~p ~rtt ~t0 ~wm with
+            | Error m when String.equal m msg -> Ok accepted
+            | Error m ->
+                Error
+                  (Printf.sprintf
+                     "scan rejected (p=%h rtt=%h t0=%h wm=%h) with %S but the \
+                      scalar guard raised %S"
+                     p rtt t0 wm msg m)
+            | Ok v ->
+                Error
+                  (Printf.sprintf
+                     "scan rejected (p=%h rtt=%h t0=%h wm=%h) with %S but the \
+                      scalar path accepted (rate %.17g)"
+                     p rtt t0 wm msg v)
+          end
+        | Ok () -> Ok ((p, rtt, t0, wm) :: accepted)
+      end
+  in
+  match List.fold_left classify (Ok []) rows with
+  | Error msg -> Fail msg
+  | Ok accepted_rev ->
+      let accepted = Array.of_list (List.rev accepted_rev) in
+      let n = Array.length accepted in
+      let cols = Bcolumns.create n in
+      Array.iteri
+        (fun i (p, rtt, t0, wm) -> Bcolumns.set cols i ~p ~rtt ~t0 ~wm)
+        accepted;
+      (* Bit-for-bit equality of every accepted row under every kernel. *)
+      let check_model acc kernel =
+        match acc with
+        | Fail _ -> acc
+        | _ ->
+            let out = Bengine.run ~jobs:1 kernel cols in
+            let rec rowwise i =
+              if i >= n then Pass
+              else
+                let p, rtt, t0, wm = accepted.(i) in
+                match scalar_eval kernel ~p ~rtt ~t0 ~wm with
+                | Error m ->
+                    failf
+                      "%s: scan accepted (p=%h rtt=%h t0=%h wm=%h) but the \
+                       scalar path rejected it: %s"
+                      (Bkernel.name kernel) p rtt t0 wm m
+                | Ok v ->
+                    let bv = Float.Array.get out i in
+                    if float_bits_eq v bv then rowwise (i + 1)
+                    else
+                      failf
+                        "%s: batch %.17g (%Lx) <> scalar %.17g (%Lx) at \
+                         (p=%h rtt=%h t0=%h wm=%h)"
+                        (Bkernel.name kernel) bv (Int64.bits_of_float bv) v
+                        (Int64.bits_of_float v) p rtt t0 wm
+            in
+            rowwise 0
+      in
+      List.fold_left check_model Pass models
+
 let corpus_roundtrip (c : Case.t) =
   match Case.of_string (Case.to_string c) with
   | Error msg -> failf "case text did not parse back: %s" msg
@@ -311,6 +464,12 @@ let all =
       name = "corpus-roundtrip";
       description = "Case text encoding round-trips";
       check = corpus_roundtrip;
+    };
+    {
+      id = "C11";
+      name = "batch-scalar-equiv";
+      description = "batch kernels match scalar models bit-for-bit";
+      check = batch_scalar_equiv;
     };
   ]
 

@@ -207,6 +207,18 @@ let test_r4_guarded () =
            \  1. /. (rtt *. sqrt p)\n" );
        ])
 
+(* The validated-input convention: an [_unchecked]-suffixed export is
+   exempt (callers — the batch engine — hoist the scan), while the same
+   body under a plain name in the same unit is still flagged. *)
+let test_r4_unchecked_suffix () =
+  check_rules "only the unsuffixed binding is flagged" [ "R4"; "R4" ]
+    (analyze
+       [
+         ( "lib/core/r4_unchecked.ml",
+           "let send_rate_unchecked ~rtt p = 1. /. (rtt *. sqrt p)\n\
+            let send_rate ~rtt p = 1. /. (rtt *. sqrt p)\n" );
+       ])
+
 let test_r4_zone_and_allow () =
   check_rules "same signature outside lib/core passes" []
     (analyze
@@ -295,6 +307,7 @@ let () =
           case "R3 typed poly compare" test_r3_poly_compare;
           case "R4 unguarded entry point" test_r4_unguarded;
           case "R4 guarded entry point" test_r4_guarded;
+          case "R4 _unchecked exemption" test_r4_unchecked_suffix;
           case "R4 zone and allow" test_r4_zone_and_allow;
           case "cmt discovery" test_cmt_files;
         ] );

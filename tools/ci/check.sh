@@ -13,11 +13,15 @@
 #                             packet-level traces, prefixes, and
 #                             disk-replayed streams
 #   4. pftk selfcheck      -- 200 seeded cases through the invariant
-#                             catalog (C1-C10): differential model
+#                             catalog (C1-C11): differential model
 #                             checks, inverse round-trips, serializer
-#                             round-trips, online/post-hoc agreement
+#                             round-trips, online/post-hoc agreement,
+#                             batch/scalar bit-equality
 #   5. dune build --profile release
 #                          -- the optimized build the benchmarks use
+#   6. batch smoke         -- timed bench-batch runs on the release
+#                             binary asserting the batch engine's
+#                             speedup floors and bitwise equality
 #
 # Each phase reports its wall-clock time.  Exits non-zero at the first
 # failure.  Run from anywhere inside the workspace; dune locates the
@@ -49,5 +53,18 @@ phase "pftk selfcheck (200 cases, seed 42)" \
   dune exec bin/pftk.exe -- selfcheck --cases 200 --seed 42
 
 phase "dune build --profile release" dune build --profile release
+
+# Speedup floors are deliberately below the measured steady-state values
+# (eq. (33): ~4.3x vs its own scalar, ~13x vs the scalar full model;
+# eq. (32): ~2.8x) so CI noise does not flake, while a regression to a
+# boxed or rescanning inner loop (2-3x of margin) still fails.  Each run
+# also bit-compares 4096 rows against the guarded scalar path.
+phase "batch smoke: eq. (32) kernel floor 2x" \
+  dune exec --profile release bin/pftk.exe -- bench-batch \
+  --rows 1000000 --model full --min-speedup 2
+
+phase "batch smoke: eq. (33) vs scalar full model, floor 6x" \
+  dune exec --profile release bin/pftk.exe -- bench-batch \
+  --rows 1000000 --model approximate --scalar-model full --min-speedup 6
 
 say "all checks passed"

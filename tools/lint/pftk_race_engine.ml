@@ -460,6 +460,17 @@ let r4_binding st ~file name loc expr =
              name (Ident.name id)))
     !watched
 
+(* The validated-input naming convention: a binding whose name ends in
+   [_unchecked] declares "my caller has already domain-checked these
+   inputs" — the batch kernels hoist the scan out of their inner loops
+   and then call these.  R4 exempts them by name; everything else keeps
+   its guard.  The contract is enforced elsewhere (selfcheck C11 proves
+   batch ≡ guarded scalar bit-for-bit on scanned columns). *)
+let is_unchecked name =
+  let suffix = "_unchecked" in
+  let n = String.length name and s = String.length suffix in
+  n >= s && String.equal (String.sub name (n - s) s) suffix
+
 (* Toplevel bindings are filtered against the unit's interface; bindings
    in nested modules (e.g. Tfrc.Controller) are all analyzed — the
    interface filter does not reach through module signatures, and a
@@ -472,8 +483,9 @@ let rec r4_structure st ~file ~top is_exported (str : structure) =
           List.iter
             (fun vb ->
               match vb.vb_pat.pat_desc with
-              | Tpat_var (id, _) when (not top) || is_exported (Ident.name id)
-                ->
+              | Tpat_var (id, _)
+                when (not (is_unchecked (Ident.name id)))
+                     && ((not top) || is_exported (Ident.name id)) ->
                   let rs = push st vb.vb_attributes in
                   r4_binding st ~file (Ident.name id) vb.vb_pat.pat_loc
                     vb.vb_expr;

@@ -25,6 +25,12 @@
       or an [invalid_arg]/[failwith] guard mentioning the parameter (or
       a let-bound value built from it) in the function's guard prefix.
       Shallow and function-local by design, not full dataflow.
+      Bindings whose name ends in [_unchecked] are exempt: that suffix
+      is the repo's validated-input convention — the batch engine
+      ([lib/batch]) hoists the domain scan out of its inner loops and
+      dispatches to these kernels with inputs already proven in-domain
+      (selfcheck invariant C11 holds them to the guarded scalar results
+      bit-for-bit).  Scalar exports without the suffix stay guarded.
 
     Findings use the pftk-lint format and honour the same scoped
     [[@lint.allow "R1"]] escape hatch on expressions, value bindings and
