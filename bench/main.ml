@@ -92,10 +92,14 @@ let artifacts ~quick ~jobs =
   ]
 
 (* BENCH_results.json feeds the cross-PR perf trajectory; refuse to
-   record timings for a tree that fails pftk-lint (AST rules L1-L5) or
-   pftk-race (typed rules R1-R4) so the numbers always describe a clean
-   tree. Run from anywhere else (no source dirs in sight, no build
-   artifacts), there is nothing to check. *)
+   record timings for a tree that fails pftk-lint (AST rules L1-L5),
+   pftk-race (typed rules R1-R4) or pftk-flow (interprocedural rules
+   F1-F4) so the numbers always describe a clean tree.  Each analyzer's
+   own wall-clock is recorded alongside the perf numbers — the
+   analyzers are part of every `dune build`, so their cost is part of
+   the edit-compile loop worth tracking.  Run from anywhere else (no
+   source dirs in sight, no build artifacts), there is nothing to
+   check. *)
 let report_findings findings =
   let err = Format.err_formatter in
   List.iter
@@ -113,25 +117,41 @@ let tree_is_lint_clean () =
   | [] -> true
   | roots -> report_findings (Pftk_lint_engine.lint_dirs roots)
 
-(* The race analyzer reads the .cmt/.cmti files dune emitted, which live
-   under _build/default when the benchmark runs from the source root and
-   right next to us when it runs from inside _build. *)
+(* The typed analyzers read the .cmt/.cmti files dune emitted, which
+   live under _build/default when the benchmark runs from the source
+   root and right next to us when it runs from inside _build. *)
+let cmt_roots () =
+  List.concat_map
+    (fun d -> [ d; Filename.concat "_build/default" d ])
+    [ "lib"; "bin"; "bench"; "examples" ]
+  |> List.filter (fun d -> Sys.file_exists d && Sys.is_directory d)
+
 let tree_is_race_clean () =
-  let roots =
-    List.concat_map
-      (fun d -> [ d; Filename.concat "_build/default" d ])
-      [ "lib"; "bin"; "bench"; "examples" ]
-    |> List.filter (fun d -> Sys.file_exists d && Sys.is_directory d)
-  in
+  let roots = cmt_roots () in
   match Pftk_race_engine.cmt_files roots with
   | [] -> true
   | _ :: _ -> report_findings (Pftk_race_engine.analyze_paths roots)
 
-let tree_is_clean () =
-  (* Evaluate both so a dirty tree reports every finding at once. *)
-  let lint = tree_is_lint_clean () in
-  let race = tree_is_race_clean () in
-  lint && race
+let tree_is_flow_clean () =
+  let roots = cmt_roots () in
+  match Pftk_flow_engine.cmt_files roots with
+  | [] -> true
+  | _ :: _ -> report_findings (Pftk_flow_engine.analyze_paths roots)
+
+type analyzer_run = { an_name : string; an_clean : bool; an_seconds : float }
+
+let analyzer_runs () =
+  let timed an_name f =
+    let t0 = Unix.gettimeofday () in
+    let an_clean = f () in
+    { an_name; an_clean; an_seconds = Unix.gettimeofday () -. t0 }
+  in
+  (* Evaluate all three so a dirty tree reports every finding at once. *)
+  [
+    timed "pftk-lint" tree_is_lint_clean;
+    timed "pftk-race" tree_is_race_clean;
+    timed "pftk-flow" tree_is_flow_clean;
+  ]
 
 (* --- Streaming throughput: events/second through the online estimators ---- *)
 
@@ -371,13 +391,24 @@ let fig10_profile_benchmark ~quick =
     model_eval_seconds = t3 -. t2;
   }
 
-let write_timings_json ~path ~quick ~jobs ~streaming ~selfcheck ~batch
-    ~fig10_profile timings =
+let write_timings_json ~path ~quick ~jobs ~analyzers ~streaming ~selfcheck
+    ~batch ~fig10_profile timings =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pftk-bench-v4\",\n";
+  Printf.fprintf oc "  \"schema\": \"pftk-bench-v5\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  (* v5: the wall-clock of the three analyzers gating this very file;
+     they run on every `dune build`, so their cost is edit-loop cost. *)
+  Printf.fprintf oc "  \"analyzers\": [\n";
+  let na = List.length analyzers in
+  List.iteri
+    (fun i a ->
+      Printf.fprintf oc "    { \"name\": %S, \"seconds\": %.6f }%s\n" a.an_name
+        a.an_seconds
+        (if i = na - 1 then "" else ","))
+    analyzers;
+  Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"artifacts\": [\n";
   let n = List.length timings in
   List.iteri
@@ -484,13 +515,19 @@ let regenerate ~quick ~jobs =
     "# Fig. 10 phase split: sim %.3f s, summarize %.3f s, models %.6f s@."
     fig10_profile.simulation_seconds fig10_profile.summarize_seconds
     fig10_profile.model_eval_seconds;
+  let analyzers = analyzer_runs () in
+  Format.fprintf err "# Analyzer wall-clock (also gate BENCH_results.json)@.";
+  List.iter
+    (fun a -> Format.fprintf err "%-22s %12.3f s@." a.an_name a.an_seconds)
+    analyzers;
   Format.pp_print_flush err ();
-  if tree_is_clean () then
-    write_timings_json ~path:"BENCH_results.json" ~quick ~jobs ~streaming
-      ~selfcheck ~batch ~fig10_profile timings
+  if List.for_all (fun a -> a.an_clean) analyzers then
+    write_timings_json ~path:"BENCH_results.json" ~quick ~jobs ~analyzers
+      ~streaming ~selfcheck ~batch ~fig10_profile timings
   else
     Format.fprintf err
-      "# BENCH_results.json not written: tree fails pftk-lint/pftk-race@."
+      "# BENCH_results.json not written: tree fails \
+       pftk-lint/pftk-race/pftk-flow@."
 
 (* --- Part 2: ablation studies --------------------------------------------- *)
 

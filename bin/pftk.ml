@@ -524,11 +524,16 @@ let serve_cmd =
     then exit 1
   in
   let doc =
-    "Answer a newline-delimited query stream ('p rtt t0 wm' per line, wm=0 \
-     for unlimited) with one send rate per line.  Malformed or \
-     out-of-domain lines get the sentinel 'nan' on stdout and a 'pftk \
-     serve: line N: ...' diagnostic on stderr without aborting the stream; \
-     the exit status is nonzero only when every input line failed."
+    Printf.sprintf
+      "Answer a newline-delimited query stream ('p rtt t0 wm' per line, \
+       wm=0 for unlimited) with one send rate per line.  Malformed or \
+       out-of-domain lines get the sentinel 'nan' on stdout and a 'pftk \
+       serve: line N: ...' diagnostic on stderr without aborting the \
+       stream; the exit status is nonzero only when every input line \
+       failed.  Input lines are capped at %d bytes: a longer line is \
+       rejected (never evaluated) with a diagnostic naming its observed \
+       length."
+      Pftk_batch.Serve.max_line_bytes
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(

@@ -42,4 +42,5 @@ val loss_budget_into :
 
 val loss_budget :
   ?jobs:int -> ?chunk:int -> b:int -> Columns.t -> rates:floatarray -> floatarray
-(** {!loss_budget_into} into a fresh array. *)
+(** {!loss_budget_into} into a fresh array; unsolvable rows carry the
+    same NaN sentinel. *)

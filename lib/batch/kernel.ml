@@ -28,20 +28,18 @@ let name t =
    the scalar spelling operation for operation, so results are
    bit-identical to the guarded scalar path (selfcheck C11). *)
 
-let eval_into { model; b } (c : Columns.t) ~pos ~len out =
-  if pos < 0 || len < 0 || pos + len > c.Columns.n then
-    invalid_arg "Batch.Kernel.eval_into: range out of bounds";
-  if Float.Array.length out < pos + len then
-    invalid_arg "Batch.Kernel.eval_into: output array too short";
-  let pcol = c.Columns.p
-  and rcol = c.Columns.rtt
-  and tcol = c.Columns.t0
-  and wcol = c.Columns.wm in
-  match model with
-  | Full ->
-      (* Eq. (32) with Q-hat of eq. (24), fused: E[W_u] computed once
-         per row and reused for the regime test and the taken branch. *)
-      let bf = float_of_int b in
+(* Each per-model loop is a toplevel [*_unchecked] function annotated
+   [@pftk.zero_alloc], so pftk-flow proves both halves of the kernel
+   contract: F1/F3 (callers must scan first; the loops never raise) and
+   F2 (no allocating construct in any loop body).  The per-model
+   constants are computed at function entry — once per chunk, outside
+   the rows loop, so the extraction is performance-neutral. *)
+
+let[@pftk.zero_alloc] full_rows_unchecked ~b pcol rcol tcol wcol ~pos ~len out
+    =
+  (* Eq. (32) with Q-hat of eq. (24), fused: E[W_u] computed once
+     per row and reused for the regime test and the taken branch. *)
+  let bf = float_of_int b in
       let c1 = float_of_int (2 + b) /. (3. *. bf) in
       let c1c1 = c1 *. c1 in
       let c2 = float_of_int (2 + b) /. 6. in
@@ -121,10 +119,12 @@ let eval_into { model; b } (c : Columns.t) ~pos ~len out =
         in
         Float.Array.unsafe_set out i v
       done
-  | Full_approx_q ->
-      (* Eq. (32) with the min(1, 3/w) Q-hat of eq. (25): no
-         transcendentals beyond the two square roots. *)
-      let bf = float_of_int b in
+
+let[@pftk.zero_alloc] full_approx_q_rows_unchecked ~b pcol rcol tcol wcol ~pos
+    ~len out =
+  (* Eq. (32) with the min(1, 3/w) Q-hat of eq. (25): no
+     transcendentals beyond the two square roots. *)
+  let bf = float_of_int b in
       let c1 = float_of_int (2 + b) /. (3. *. bf) in
       let c1c1 = c1 *. c1 in
       let c2 = float_of_int (2 + b) /. 6. in
@@ -178,9 +178,11 @@ let eval_into { model; b } (c : Columns.t) ~pos ~len out =
         in
         Float.Array.unsafe_set out i v
       done
-  | Approximate ->
-      (* Eq. (33). *)
-      let bf = float_of_int b in
+
+let[@pftk.zero_alloc] approximate_rows_unchecked ~b pcol rcol tcol wcol ~pos
+    ~len out =
+  (* Eq. (33). *)
+  let bf = float_of_int b in
       let k2b = 2. *. bf in
       let t3b = 3. *. bf in
       for i = pos to pos + len - 1 do
@@ -200,9 +202,10 @@ let eval_into { model; b } (c : Columns.t) ~pos ~len out =
         let r = 1. /. (td +. tot) in
         Float.Array.unsafe_set out i (if cap < r then cap else r)
       done
-  | Td_only ->
-      (* Eq. (19), uncapped, matching [Model.send_rate Td_only]. *)
-      let bf = float_of_int b in
+
+let[@pftk.zero_alloc] td_only_rows_unchecked ~b pcol rcol ~pos ~len out =
+  (* Eq. (19), uncapped, matching [Model.send_rate Td_only]. *)
+  let bf = float_of_int b in
       let c1 = float_of_int (2 + b) /. (3. *. bf) in
       let c1c1 = c1 *. c1 in
       let c2 = float_of_int (2 + b) /. 6. in
@@ -218,12 +221,13 @@ let eval_into { model; b } (c : Columns.t) ~pos ~len out =
         Float.Array.unsafe_set out i
           (((omp /. p) +. ew) /. (rtt *. (ex +. 1.)))
       done
-  | Tfrc t0_factor ->
-      (* [Tfrc.fair_rate]: eq. (33) at b = 2, no receiver window
-         (cap = unlimited/rtt can still bind for subnormal p), with
-         T0 = max 1e-3 (t0_factor * rtt).  Reads only the p and rtt
-         columns. *)
-      let bf = float_of_int 2 in
+
+let[@pftk.zero_alloc] tfrc_rows_unchecked ~t0_factor pcol rcol ~pos ~len out =
+  (* [Tfrc.fair_rate]: eq. (33) at b = 2, no receiver window
+     (cap = unlimited/rtt can still bind for subnormal p), with
+     T0 = max 1e-3 (t0_factor * rtt).  Reads only the p and rtt
+     columns. *)
+  let bf = float_of_int 2 in
       let k2b = 2. *. bf in
       let t3b = 3. *. bf in
       let wu = Columns.unlimited_wm in
@@ -242,6 +246,23 @@ let eval_into { model; b } (c : Columns.t) ~pos ~len out =
         let r = 1. /. (td +. tot) in
         Float.Array.unsafe_set out i (if cap < r then cap else r)
       done
+
+let eval_into { model; b } (c : Columns.t) ~pos ~len out =
+  if pos < 0 || len < 0 || pos + len > c.Columns.n then
+    invalid_arg "Batch.Kernel.eval_into: range out of bounds";
+  if Float.Array.length out < pos + len then
+    invalid_arg "Batch.Kernel.eval_into: output array too short";
+  let pcol = c.Columns.p
+  and rcol = c.Columns.rtt
+  and tcol = c.Columns.t0
+  and wcol = c.Columns.wm in
+  match model with
+  | Full -> full_rows_unchecked ~b pcol rcol tcol wcol ~pos ~len out
+  | Full_approx_q ->
+      full_approx_q_rows_unchecked ~b pcol rcol tcol wcol ~pos ~len out
+  | Approximate -> approximate_rows_unchecked ~b pcol rcol tcol wcol ~pos ~len out
+  | Td_only -> td_only_rows_unchecked ~b pcol rcol ~pos ~len out
+  | Tfrc t0_factor -> tfrc_rows_unchecked ~t0_factor pcol rcol ~pos ~len out
 
 let scalar_reference t ~p ~rtt ~t0 ~wm =
   match t.model with

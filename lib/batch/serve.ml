@@ -35,7 +35,9 @@ let ( let* ) = Result.bind
 
 let parse_line line =
   if String.length line > max_line_bytes then
-    Error (Printf.sprintf "line exceeds %d bytes" max_line_bytes)
+    Error
+      (Printf.sprintf "line exceeds %d bytes (got %d)" max_line_bytes
+         (String.length line))
   else
     match split_fields line with
     | [] -> Error "empty line"

@@ -16,8 +16,10 @@
 type query = { p : float; rtt : float; t0 : float; wm : float }
 
 val max_line_bytes : int
-(** 4096: longer lines are rejected (never evaluated), bounding
-    per-line work for untrusted input. *)
+(** 4096: longer lines are rejected (never evaluated) with a
+    ["line exceeds %d bytes (got %d)"] diagnostic naming the observed
+    length, bounding per-line work for untrusted input.  A line of
+    exactly [max_line_bytes] bytes is still accepted. *)
 
 val sentinel : string
 (** ["nan"]: the output line for a rejected input line. *)

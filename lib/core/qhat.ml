@@ -3,30 +3,41 @@
 let pow_q p w = exp (w *. Float.log1p (-.p))
 let one_minus_pow_q p w = -.Float.expm1 (w *. Float.log1p (-.p))
 
+(* Validated-input variants ([0 < p < 1] and the integer ranges vouched
+   by the caller): the guarded exports below delegate here, so both
+   spellings share the exact same float operations — the flow analyzer
+   (F3) holds the [_unchecked] entry points to a no-raise contract. *)
+let a_prob_unchecked ~p ~w k =
+  pow_q p (float_of_int k) *. p /. one_minus_pow_q p (float_of_int w)
+
 let a_prob ~p ~w k =
   Params.check_p p;
   if w < 1 then invalid_arg "Qhat.a_prob: w must be >= 1";
   if k < 0 || k > w - 1 then invalid_arg "Qhat.a_prob: k outside [0, w-1]";
-  pow_q p (float_of_int k) *. p /. one_minus_pow_q p (float_of_int w)
+  a_prob_unchecked ~p ~w k
+
+let c_prob_unchecked ~p ~n m =
+  if Int.equal m n then pow_q p (float_of_int n) else pow_q p (float_of_int m) *. p
 
 let c_prob ~p ~n m =
   Params.check_p p;
   if n < 0 then invalid_arg "Qhat.c_prob: n must be >= 0";
   if m < 0 || m > n then invalid_arg "Qhat.c_prob: m outside [0, n]";
-  if Int.equal m n then pow_q p (float_of_int n) else pow_q p (float_of_int m) *. p
+  c_prob_unchecked ~p ~n m
 
-let h ~p k =
-  Params.check_p p;
+let h_unchecked ~p k =
   let upper = Int.min 2 k in
   let acc = ref 0. in
   for m = 0 to upper do
-    acc := !acc +. c_prob ~p ~n:k m
+    acc := !acc +. c_prob_unchecked ~p ~n:k m
   done;
   !acc
 
-let exact ~p w =
+let h ~p k =
   Params.check_p p;
-  if w < 1 then invalid_arg "Qhat.exact: w must be >= 1";
+  h_unchecked ~p k
+
+let exact_unchecked ~p w =
   if w <= 3 then 1.
   else begin
     (* k ranges over 0 .. w-1: the number of packets ACKed in the penultimate
@@ -34,13 +45,18 @@ let exact ~p w =
        the last round of k packets must yield fewer than 3 dup ACKs. *)
     let acc = ref 0. in
     for k = 0 to Int.min 2 (w - 1) do
-      acc := !acc +. a_prob ~p ~w k
+      acc := !acc +. a_prob_unchecked ~p ~w k
     done;
     for k = 3 to w - 1 do
-      acc := !acc +. (a_prob ~p ~w k *. h ~p k)
+      acc := !acc +. (a_prob_unchecked ~p ~w k *. h_unchecked ~p k)
     done;
     Float.min 1. !acc
   end
+
+let exact ~p w =
+  Params.check_p p;
+  if w < 1 then invalid_arg "Qhat.exact: w must be >= 1";
+  exact_unchecked ~p w
 
 (* Validated-input variants ([0 < p < 1], [w >= 1] vouched by the
    caller): same expressions as the guarded exports below. *)
@@ -75,6 +91,6 @@ let eval variant ~p w =
 
 let eval_unchecked variant ~p w =
   match variant with
-  | Exact_sum -> exact ~p (Int.max 1 (int_of_float (Float.round w)))
+  | Exact_sum -> exact_unchecked ~p (Int.max 1 (int_of_float (Float.round w)))
   | Closed -> closed_form_unchecked ~p w
   | Approximate -> approx_unchecked w

@@ -103,8 +103,15 @@ end
    follows the validated-input convention (caller vouches for
    [t0_factor > 0], [rtt > 0] and [0 < p < 1]). *)
 let fair_rate_unchecked ~t0_factor ~rtt p =
-  let params = Params.make ~rtt ~t0:(Float.max 1e-3 (t0_factor *. rtt)) () in
-  Approx_model.send_rate_unchecked params p
+  (* Spelled without [Params.make] (whose validation raises): the same
+     window cap and uncapped rate [Approx_model.send_rate_unchecked]
+     would compute from [make ~rtt ~t0 ()]'s record — b = 2,
+     wm = unlimited_window — operation for operation, so the result is
+     bit-identical and the F3 no-raise contract holds. *)
+  let t0 = Float.max 1e-3 (t0_factor *. rtt) in
+  Float.min
+    (float_of_int Params.unlimited_window /. rtt)
+    (Approx_model.send_rate_uncapped_unchecked ~rtt ~t0 ~b:2 p)
 
 let fair_rate ?(t0_factor = 4.) ~rtt p =
   Params.check_p p;

@@ -12,63 +12,84 @@ let infer ?(dup_ack_threshold = 3) ?(min_timeout_gap = 0.15) () =
     invalid_arg "Detector.infer: min_timeout_gap must be positive";
   Infer { dup_ack_threshold; min_timeout_gap }
 
+(* The mutable float state lives in its own all-float record: the
+   compiler gives [floats] the flat (unboxed) float representation, so
+   the per-event stores below are plain writes.  In the mixed record
+   [t] each float store would box (one allocation per trace event),
+   which rule F2 flags. *)
+type floats = {
+  mutable seq_at : float;  (* start time of the open timeout sequence *)
+  mutable seq_first : float;  (* its first firing gap (rto) *)
+  mutable last_activity : float;
+}
+
 type t = {
   mode : mode;
   emit : Analyzer.indication -> unit;
-  (* Open timeout sequence: (start time, firing count, first gap). *)
-  mutable open_seq : (float * int * float) option;
+  fl : floats;
+  (* Open timeout sequence, flattened from an option so per-event
+     updates never allocate: [seq_count = 0] means no sequence is open
+     and the [fl.seq_*] fields are meaningless. *)
+  mutable seq_count : int;
   mutable emitted : int;
-  (* Inference-mode duplicate-ACK and idle-gap state. *)
+  (* Inference-mode duplicate-ACK state. *)
   mutable highest_ack : int;
   mutable dup_ack : int;
   mutable dup_count : int;
-  mutable last_activity : float;
 }
 
 let create ?(on_indication = fun (_ : Analyzer.indication) -> ()) mode =
   {
     mode;
     emit = on_indication;
-    open_seq = None;
+    fl = { seq_at = 0.; seq_first = 0.; last_activity = 0. };
+    seq_count = 0;
     emitted = 0;
     highest_ack = -1;
     dup_ack = -1;
     dup_count = 0;
-    last_activity = 0.;
   }
 
-let close t =
-  match t.open_seq with
-  | Some (at, count, first_timer) ->
-      t.open_seq <- None;
-      t.emitted <- t.emitted + 1;
-      t.emit (Analyzer.To { at; timeouts = count; first_timer })
-  | None -> ()
+let[@pftk.zero_alloc] close t =
+  if t.seq_count > 0 then begin
+    let at = t.fl.seq_at
+    and timeouts = t.seq_count
+    and first_timer = t.fl.seq_first in
+    t.seq_count <- 0;
+    t.emitted <- t.emitted + 1;
+    (* One indication record per *completed* timeout sequence: this is
+       the delivery API itself, amortized over the whole sequence of
+       events, not a per-event allocation. *)
+    (t.emit (Analyzer.To { at; timeouts; first_timer }) [@lint.allow "F2"])
+  end
 
-let emit_td t at =
+let[@pftk.zero_alloc] emit_td t at =
   t.emitted <- t.emitted + 1;
-  t.emit (Analyzer.Td { at })
+  (* Same deal: one record per detected loss indication. *)
+  (t.emit (Analyzer.Td { at }) [@lint.allow "F2"])
 
 (* Mirrors Analyzer.ground_truth_indications, one event at a time. *)
-let push_ground_truth t { Event.time; kind } =
+let[@pftk.zero_alloc] push_ground_truth t { Event.time; kind } =
   match kind with
   | Event.Fast_retransmit_triggered _ ->
       close t;
       emit_td t time
-  | Event.Timer_fired { backoff; rto } -> begin
-      match t.open_seq with
-      | Some (at, count, first_timer) when backoff = count + 1 ->
-          t.open_seq <- Some (at, count + 1, first_timer)
-      | _ ->
-          close t;
-          t.open_seq <- Some (time, 1, rto)
-    end
+  | Event.Timer_fired { backoff; rto } ->
+      if t.seq_count > 0 && backoff = t.seq_count + 1 then
+        t.seq_count <- t.seq_count + 1
+      else begin
+        close t;
+        t.fl.seq_at <- time;
+        t.fl.seq_first <- rto;
+        t.seq_count <- 1
+      end
   | Event.Ack_received _ | Event.Segment_sent _ | Event.Rtt_sample _
   | Event.Round_started _ | Event.Connection_closed ->
       ()
 
 (* Mirrors Analyzer.infer_indications, one event at a time. *)
-let push_infer t ~dup_ack_threshold ~min_timeout_gap { Event.time; kind } =
+let[@pftk.zero_alloc] push_infer t ~dup_ack_threshold ~min_timeout_gap
+    { Event.time; kind } =
   match kind with
   | Event.Ack_received { ack } ->
       if ack > t.highest_ack then begin
@@ -83,39 +104,46 @@ let push_infer t ~dup_ack_threshold ~min_timeout_gap { Event.time; kind } =
         t.dup_ack <- ack;
         t.dup_count <- 1
       end;
-      t.last_activity <- time
+      t.fl.last_activity <- time
   | Event.Segment_sent { seq; retransmission; _ } ->
       if retransmission then begin
-        let gap = time -. t.last_activity in
+        let gap = time -. t.fl.last_activity in
         if seq = t.dup_ack && t.dup_count >= dup_ack_threshold then begin
           close t;
           emit_td t time;
           t.dup_count <- 0
         end
         else if gap >= min_timeout_gap then begin
-          match t.open_seq with
-          | Some (at, count, first_timer) ->
-              t.open_seq <- Some (at, count + 1, first_timer)
-          | None -> t.open_seq <- Some (time, 1, gap)
+          if t.seq_count > 0 then t.seq_count <- t.seq_count + 1
+          else begin
+            t.fl.seq_at <- time;
+            t.fl.seq_first <- gap;
+            t.seq_count <- 1
+          end
         end
         (* else: recovery-burst retransmission, not a new indication *)
       end;
-      t.last_activity <- time
+      t.fl.last_activity <- time
   | Event.Timer_fired _ | Event.Fast_retransmit_triggered _
   | Event.Rtt_sample _ | Event.Round_started _ | Event.Connection_closed ->
       ()
 
-let push t event =
+let[@pftk.zero_alloc] push t event =
   match t.mode with
   | Ground_truth -> push_ground_truth t event
   | Infer { dup_ack_threshold; min_timeout_gap } ->
       push_infer t ~dup_ack_threshold ~min_timeout_gap event
 
 let pending t =
-  match t.open_seq with
-  | Some (at, count, first_timer) ->
-      Some (Analyzer.To { at; timeouts = count; first_timer })
-  | None -> None
+  if t.seq_count > 0 then
+    Some
+      (Analyzer.To
+         {
+           at = t.fl.seq_at;
+           timeouts = t.seq_count;
+           first_timer = t.fl.seq_first;
+         })
+  else None
 
 let flush t = close t
 let emitted t = t.emitted

@@ -307,12 +307,32 @@ let test_serve_overlong_line () =
   let long = String.make 5000 '1' in
   let code, out, err = run_serve (long ^ "\n0.02 0.1 0.4 32\n") in
   Alcotest.(check int) "exit 0" 0 code;
-  Alcotest.(check bool) "overlong line diagnosed" true
-    (contains ~sub:"line 1: line exceeds 4096 bytes" err);
+  Alcotest.(check bool) "overlong line diagnosed with its length" true
+    (contains ~sub:"line 1: line exceeds 4096 bytes (got 5000)" err);
   Alcotest.(check bool) "sentinel then rate" true
     (match String.split_on_char '\n' (String.trim out) with
     | [ "nan"; rate ] -> float_of_string_opt rate <> None
     | _ -> false)
+
+(* The cap is inclusive: a line of exactly [max_line_bytes] bytes is a
+   valid query; one byte more is rejected without being parsed. *)
+let test_serve_line_cap_boundary () =
+  let cap = Pftk_batch.Serve.max_line_bytes in
+  let pad query n = query ^ String.make (n - String.length query) ' ' in
+  let at_cap = pad "0.02 0.1 0.4 32" cap in
+  let over_cap = pad "0.02 0.1 0.4 32" (cap + 1) in
+  let code, out, err = run_serve (at_cap ^ "\n" ^ over_cap ^ "\n") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "line at the cap is answered" true
+    (match String.split_on_char '\n' (String.trim out) with
+    | [ rate; "nan" ] -> float_of_string_opt rate <> None
+    | _ -> false);
+  Alcotest.(check bool) "line past the cap is diagnosed" true
+    (contains
+       ~sub:(Printf.sprintf "line 2: line exceeds %d bytes (got %d)" cap (cap + 1))
+       err);
+  Alcotest.(check bool) "line at the cap is not diagnosed" true
+    (not (contains ~sub:"line 1" err))
 
 let test_serve_batch_equals_scalar () =
   let buf = Buffer.create 4096 in
@@ -362,6 +382,7 @@ let () =
           case "all-bad stream exits 1" test_serve_all_bad_exits_nonzero;
           case "empty stream" test_serve_empty_stream;
           case "overlong line" test_serve_overlong_line;
+          case "line-cap boundary" test_serve_line_cap_boundary;
           case "batch stream = scalar stream" test_serve_batch_equals_scalar;
         ] );
     ]

@@ -1,0 +1,99 @@
+#!/bin/sh
+# Analyzer self-test: every deliberately-broken fixture under
+# tools/lint/fixtures must make its analyzer exit 1 *and* name the
+# expected rule.  This is the canary for the analyzers themselves — a
+# lint/race/flow binary that silently stopped finding anything would
+# otherwise keep CI green forever.
+#
+# Layout: each fixture is copied into a throwaway tree shaped like the
+# workspace (lib/core/...), because the zone rules key on that relative
+# layout; the typed fixtures are compiled with the toolchain's own
+# ocamlc -bin-annot, exactly as the unit suites in test/test_race.ml
+# and test/test_flow.ml do.
+
+set -eu
+
+say() { printf '== %s\n' "$*"; }
+
+cd "$(dirname "$0")/../.."
+
+fixtures=tools/lint/fixtures
+lint=_build/default/tools/lint/pftk_lint.exe
+race=_build/default/tools/lint/pftk_race.exe
+flow=_build/default/tools/lint/pftk_flow.exe
+
+for exe in "$lint" "$race" "$flow"; do
+  if [ ! -x "$exe" ]; then
+    echo "analyzer self-test: missing $exe (run dune build first)" >&2
+    exit 2
+  fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# stage <tree> <fixture>... : copy fixtures to $tmp/<tree>/lib/core and
+# compile any .ml/.mli (interfaces first, so the .cmi exists).
+stage() {
+  _tree=$tmp/$1
+  shift
+  mkdir -p "$_tree/lib/core"
+  for _f in "$@"; do
+    cp "$fixtures/$_f" "$_tree/lib/core/"
+  done
+  for _f in "$@"; do
+    case $_f in
+    *.mli) (cd "$_tree" && ocamlc -bin-annot -w -a -I lib/core -c "lib/core/$_f") ;;
+    esac
+  done
+  for _f in "$@"; do
+    case $_f in
+    *.mli) ;;
+    *.ml) (cd "$_tree" && ocamlc -bin-annot -w -a -I lib/core -c "lib/core/$_f") ;;
+    esac
+  done
+  printf '%s\n' "$_tree"
+}
+
+# expect <rule> <exe> <root>... : the analyzer must exit exactly 1 on
+# the broken tree and its report must carry the [rule] tag.
+expect() {
+  _rule=$1
+  shift
+  set +e
+  _out=$("$@" 2>/dev/null)
+  _st=$?
+  set -e
+  if [ "$_st" -ne 1 ]; then
+    echo "analyzer self-test: '$*' exited $_st on a broken tree (wanted 1, rule $_rule)" >&2
+    exit 1
+  fi
+  case $_out in
+  *"[$_rule]"*) say "  $_rule trigger caught" ;;
+  *)
+    echo "analyzer self-test: '$*' exited 1 without reporting $_rule:" >&2
+    printf '%s\n' "$_out" >&2
+    exit 1
+    ;;
+  esac
+}
+
+say "pftk-lint must fail on the L1 fixture"
+tree=$(stage lint_l1 lint_l1.ml)
+expect L1 "$lint" "$tree/lib"
+
+say "pftk-race must fail on the R4 fixture"
+tree=$(stage race_r4 race_r4.ml)
+expect R4 "$race" "$tree"
+
+say "pftk-flow must fail on each F-rule fixture"
+tree=$(stage flow_f1 flow_f1.ml)
+expect F1 "$flow" "$tree"
+tree=$(stage flow_f2 flow_f2.ml)
+expect F2 "$flow" "$tree"
+tree=$(stage flow_f3 flow_f3.ml)
+expect F3 "$flow" "$tree"
+tree=$(stage flow_f4 flow_f4.mli flow_f4.ml)
+expect F4 "$flow" "$tree"
+
+say "analyzer self-test passed"

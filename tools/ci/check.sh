@@ -3,23 +3,29 @@
 #
 #   1. dune build          -- compiles everything at -warn-error +a and,
 #                             via the default alias, runs the @lint
-#                             (pftk-lint, rules L1-L5) and @race
-#                             (pftk-race, rules R1-R4) analyzers
-#   2. dune runtest        -- every alcotest/qcheck suite
-#   3. equivalence suite   -- the online/post-hoc agreement contract:
+#                             (pftk-lint, rules L1-L5), @race
+#                             (pftk-race, rules R1-R4) and @flow
+#                             (pftk-flow, rules F1-F4) analyzers
+#   2. @flow (timed)       -- the interprocedural contract analyzer as
+#                             its own timed phase
+#   3. analyzer self-test  -- the deliberately-broken fixtures under
+#                             tools/lint/fixtures must each make their
+#                             analyzer exit 1 (tools/ci/analyzer_selftest.sh)
+#   4. dune runtest        -- every alcotest/qcheck suite
+#   5. equivalence suite   -- the online/post-hoc agreement contract:
 #                             every streaming summary must match
 #                             Analyzer.summarize exactly (avg_t0 within
 #                             1e-9 relative) on all 24 Table II paths,
 #                             packet-level traces, prefixes, and
 #                             disk-replayed streams
-#   4. pftk selfcheck      -- 200 seeded cases through the invariant
+#   6. pftk selfcheck      -- 200 seeded cases through the invariant
 #                             catalog (C1-C11): differential model
 #                             checks, inverse round-trips, serializer
 #                             round-trips, online/post-hoc agreement,
 #                             batch/scalar bit-equality
-#   5. dune build --profile release
+#   7. dune build --profile release
 #                          -- the optimized build the benchmarks use
-#   6. batch smoke         -- timed bench-batch runs on the release
+#   8. batch smoke         -- timed bench-batch runs on the release
 #                             binary asserting the batch engine's
 #                             speedup floors and bitwise equality
 #
@@ -42,7 +48,12 @@ phase() {
   say "$_label: done in $((_t1 - _t0))s"
 }
 
-phase "dune build (default alias: compile + @lint + @race)" dune build
+phase "dune build (default alias: compile + @lint + @race + @flow)" dune build
+
+phase "dune build @flow (pftk-flow, rules F1-F4)" dune build @flow
+
+phase "analyzer self-test (broken fixtures must fail)" \
+  sh "$(dirname "$0")/analyzer_selftest.sh"
 
 phase "dune runtest" dune runtest
 

@@ -1,0 +1,4 @@
+(* F1 trigger: a call site of an *_unchecked value with no dominating
+   guard in a caller that is not itself *_unchecked. *)
+let rate_unchecked p = 1. /. sqrt p
+let rate p = rate_unchecked p

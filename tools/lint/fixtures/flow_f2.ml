@@ -1,0 +1,2 @@
+(* F2 trigger: a tuple literal inside a [@pftk.zero_alloc] body. *)
+let[@pftk.zero_alloc] pair x = (x, x)

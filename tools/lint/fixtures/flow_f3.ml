@@ -1,0 +1,2 @@
+(* F3 trigger: invalid_arg reachable inside an *_unchecked body. *)
+let bad_unchecked p = if p <= 0. then invalid_arg "p" else sqrt p

@@ -1,0 +1,3 @@
+(* F4 trigger: returns the NaN sentinel but the .mli doc above never
+   says "NaN". *)
+let budget r = if r > 0. then 1. /. r else Float.nan

@@ -1,0 +1,2 @@
+val budget : float -> float
+(** Largest sustainable loss budget. *)

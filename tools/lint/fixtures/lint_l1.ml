@@ -1,0 +1,2 @@
+(* L1 trigger: polymorphic (=) on floats inside lib/core. *)
+let f x = x = 0.

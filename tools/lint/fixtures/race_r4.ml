@@ -1,0 +1,2 @@
+(* R4 trigger: a lib/core entry point taking rtt/p without guards. *)
+let send_rate ~rtt p = 1. /. (rtt *. sqrt p)

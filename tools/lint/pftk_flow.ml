@@ -1,17 +1,17 @@
-(* Command-line front end: [pftk_race DIR...] runs the typed R1-R4
-   analysis over every .cmt/.cmti under the given roots (default:
+(* Command-line front end: [pftk_flow DIR...] runs the interprocedural
+   F1-F4 analysis over every .cmt/.cmti under the given roots (default:
    lib bin bench examples). Roots are looked up both as given and under
-   _build/default, so the tool works from the build context (the @race
+   _build/default, so the tool works from the build context (the @flow
    rule) and from the source root (developers, the bench gate). Prints
    findings as file:line:col [rule] message, or a JSON array with
    --format=json, and exits non-zero if any survive. *)
 
 let () =
-  Pftk_findings.run_cli ~tool:"pftk-race"
+  Pftk_findings.run_cli ~tool:"pftk-flow"
     ~default_roots:[ "lib"; "bin"; "bench"; "examples" ]
     ~analyze:(fun roots ->
       let paths = Pftk_findings.expand_build_roots roots in
-      match Pftk_race_engine.cmt_files paths with
+      match Pftk_flow_engine.cmt_files paths with
       | [] ->
           Error
             (Printf.sprintf
@@ -19,5 +19,5 @@ let () =
                (String.concat " " roots))
       | cmts ->
           Ok
-            ( Pftk_race_engine.analyze_paths paths,
+            ( Pftk_flow_engine.analyze_paths paths,
               Printf.sprintf "%d compilation units" (List.length cmts) ))

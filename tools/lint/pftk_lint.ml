@@ -4,40 +4,12 @@
    and exits non-zero if any survive. *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let json = List.mem "--format=json" args in
-  let bad =
-    List.filter
-      (fun a ->
-        String.length a >= 2
-        && String.sub a 0 2 = "--"
-        && a <> "--format=json" && a <> "--format=text")
-      args
-  in
-  (match bad with
-  | [] -> ()
-  | b :: _ ->
-      Printf.eprintf "pftk-lint: unknown option %s\n" b;
-      exit 2);
-  let roots =
-    match
-      List.filter
-        (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
-        args
-    with
-    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
-    | roots -> roots
-  in
-  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
-  List.iter (Printf.eprintf "pftk-lint: warning: no such directory: %s\n") missing;
-  let roots = List.filter Sys.file_exists roots in
-  let findings = Pftk_lint_engine.lint_dirs roots in
-  if json then Format.printf "%a@." Pftk_lint_engine.pp_findings_json findings
-  else List.iter (Format.printf "%a@." Pftk_lint_engine.pp_finding) findings;
-  match findings with
-  | [] ->
-      Printf.eprintf "pftk-lint: clean (%s)\n" (String.concat " " roots);
-      exit 0
-  | _ :: _ ->
-      Printf.eprintf "pftk-lint: %d finding(s)\n" (List.length findings);
-      exit 1
+  Pftk_findings.run_cli ~tool:"pftk-lint"
+    ~default_roots:[ "lib"; "bin"; "bench"; "examples" ]
+    ~analyze:(fun roots ->
+      let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+      List.iter
+        (Printf.eprintf "pftk-lint: warning: no such directory: %s\n")
+        missing;
+      let roots = List.filter Sys.file_exists roots in
+      Ok (Pftk_lint_engine.lint_dirs roots, String.concat " " roots))

@@ -9,7 +9,11 @@
 
 open Parsetree
 
-type finding = {
+(* The finding record, its renderings, the path-zone tests and the
+   [@lint.allow] machinery are shared by all three analyzers; see
+   pftk_findings.mli.  Re-exported here so existing consumers (tests,
+   the bench gate) keep their spelling. *)
+type finding = Pftk_findings.finding = {
   file : string;
   line : int;
   col : int;
@@ -17,69 +21,11 @@ type finding = {
   message : string;
 }
 
-let pp_finding ppf f =
-  Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let pp_findings_json ppf fs =
-  Format.fprintf ppf "[";
-  List.iteri
-    (fun i f ->
-      Format.fprintf ppf "%s@\n  " (if i = 0 then "" else ",");
-      Format.fprintf ppf
-        {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
-        (json_escape f.file) f.line f.col (json_escape f.rule)
-        (json_escape f.message))
-    fs;
-  Format.fprintf ppf "%s]" (if fs = [] then "" else "\n")
-
-let compare_findings a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c
-      else
-        let c = String.compare a.rule b.rule in
-        if c <> 0 then c else String.compare a.message b.message
-
-(* --- Path zones ----------------------------------------------------------- *)
-
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
-
-let normalize path =
-  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
-  if String.length path > 2 && String.sub path 0 2 = "./" then
-    String.sub path 2 (String.length path - 2)
-  else path
-
-(* [under ~root path]: is [path] inside directory [root] (given either
-   relative to the workspace root or as an absolute path)? *)
-let under ~root path =
-  let path = normalize path in
-  String.length path > String.length root
-  && (String.sub path 0 (String.length root + 1) = root ^ "/"
-     || contains_sub path ("/" ^ root ^ "/"))
+let pp_finding = Pftk_findings.pp_finding
+let pp_findings_json = Pftk_findings.pp_findings_json
+let compare_findings = Pftk_findings.compare_findings
+let normalize = Pftk_findings.normalize
+let under = Pftk_findings.under
 
 let in_lib path = under ~root:"lib" path
 
@@ -104,35 +50,14 @@ let is_poly_compare = function
   | "=" | "<>" | "compare" | "min" | "max" -> true
   | _ -> false
 
-(* --- [@lint.allow "..."] -------------------------------------------------- *)
-
-let allows_of_attrs attrs =
-  List.concat_map
-    (fun a ->
-      if a.attr_name.txt <> "lint.allow" then []
-      else
-        match a.attr_payload with
-        | PStr
-            [
-              {
-                pstr_desc =
-                  Pstr_eval
-                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-                _;
-              };
-            ] ->
-            String.split_on_char ' ' s
-            |> List.concat_map (String.split_on_char ',')
-            |> List.filter (fun r -> r <> "")
-        | _ -> [])
-    attrs
+let allows_of_attrs = Pftk_findings.allows_of_attrs
 
 (* --- Per-file context ----------------------------------------------------- *)
 
 type ctx = {
   path : string;
   findings : finding list ref;
-  allowed : (string, int) Hashtbl.t;  (* active [@lint.allow] rules *)
+  allowed : Pftk_findings.Allow.t;  (* active [@lint.allow] rules *)
   local_defs : (string, unit) Hashtbl.t;  (* toplevel lets in this unit *)
   local_mutable : (string, unit) Hashtbl.t;  (* mutable fields, this unit *)
   qualified_mutable : (string * string, unit) Hashtbl.t;
@@ -142,35 +67,13 @@ type ctx = {
          any function body): where L3 creation of mutable state races *)
 }
 
-let push_allows ctx attrs =
-  let rules = allows_of_attrs attrs in
-  List.iter
-    (fun r ->
-      let n = Option.value ~default:0 (Hashtbl.find_opt ctx.allowed r) in
-      Hashtbl.replace ctx.allowed r (n + 1))
-    rules;
-  rules
-
-let pop_allows ctx rules =
-  List.iter
-    (fun r ->
-      match Hashtbl.find_opt ctx.allowed r with
-      | Some n when n > 1 -> Hashtbl.replace ctx.allowed r (n - 1)
-      | Some _ -> Hashtbl.remove ctx.allowed r
-      | None -> ())
-    rules
+let push_allows ctx attrs = Pftk_findings.Allow.push ctx.allowed attrs
+let pop_allows ctx rules = Pftk_findings.Allow.pop ctx.allowed rules
 
 let report ctx (loc : Location.t) rule message =
-  if not (Hashtbl.mem ctx.allowed rule) then
-    let p = loc.loc_start in
+  if not (Pftk_findings.Allow.active ctx.allowed rule) then
     ctx.findings :=
-      {
-        file = ctx.path;
-        line = p.pos_lnum;
-        col = p.pos_cnum - p.pos_bol;
-        rule;
-        message;
-      }
+      Pftk_findings.finding_of_loc ~file:ctx.path loc rule message
       :: !(ctx.findings)
 
 (* --- Pre-scans ------------------------------------------------------------ *)
@@ -397,7 +300,7 @@ let lint_structure ~path ~qualified_mutable structure =
     {
       path = normalize path;
       findings = ref [];
-      allowed = Hashtbl.create 4;
+      allowed = Pftk_findings.Allow.create ();
       local_defs = collect_local_defs structure;
       local_mutable = collect_mutable_fields structure;
       qualified_mutable;

@@ -25,13 +25,15 @@
     annotated subtree only, so every exception stays visible in the
     diff. *)
 
-type finding = {
+type finding = Pftk_findings.finding = {
   file : string;
   line : int;  (** 1-based *)
   col : int;  (** 0-based, compiler convention *)
   rule : string;  (** "L1".."L5", or "parse" for unparseable input *)
   message : string;
 }
+(** Re-export of {!Pftk_findings.finding} (the record shared by all
+    three analyzers) so existing consumers keep their spelling. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 (** Renders as [file:line:col [rule] message]. *)

@@ -6,36 +6,10 @@
    definitions. *)
 
 open Typedtree
-module F = Pftk_lint_engine
+module F = Pftk_findings
 
-(* --- Canonical names -------------------------------------------------------
-
-   dune mangles wrapped-library module names as [Pftk_core__Params];
-   [Path.name] at use sites goes through the wrapper alias and prints
-   [Pftk_core.Params.t]. Replacing ["__"] with ["."] puts declarations
-   and references in the same namespace. *)
-
-let canonical name =
-  let n = String.length name in
-  let b = Buffer.create n in
-  let i = ref 0 in
-  while !i < n do
-    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' then begin
-      Buffer.add_char b '.';
-      i := !i + 2
-    end
-    else begin
-      Buffer.add_char b name.[!i];
-      incr i
-    end
-  done;
-  Buffer.contents b
-
-let split_canonical name = String.split_on_char '.' (canonical name)
-
-let strip_stdlib = function
-  | "Stdlib" :: (_ :: _ as rest) -> rest
-  | parts -> parts
+let split_canonical = F.split_canonical
+let strip_stdlib = F.strip_stdlib
 
 (* [Hashtbl.t] and [Stdlib.Hashtbl.t] as one spelling. *)
 let head_of_path p =
@@ -59,40 +33,15 @@ type state = {
   exported : (string, (string, unit) Hashtbl.t) Hashtbl.t;
       (* canonical unit -> toplevel value names in its interface *)
   mutable findings : F.finding list;
-  allows : (string, int) Hashtbl.t;  (* active [@lint.allow] rules *)
+  allows : F.Allow.t;  (* active [@lint.allow] rules *)
 }
 
-let push st attrs =
-  let rules = F.allows_of_attrs attrs in
-  List.iter
-    (fun r ->
-      let n = Option.value ~default:0 (Hashtbl.find_opt st.allows r) in
-      Hashtbl.replace st.allows r (n + 1))
-    rules;
-  rules
-
-let pop st rules =
-  List.iter
-    (fun r ->
-      match Hashtbl.find_opt st.allows r with
-      | Some n when n > 1 -> Hashtbl.replace st.allows r (n - 1)
-      | Some _ -> Hashtbl.remove st.allows r
-      | None -> ())
-    rules
+let push st attrs = F.Allow.push st.allows attrs
+let pop st rules = F.Allow.pop st.allows rules
 
 let report st ~file (loc : Location.t) rule message =
-  if not (Hashtbl.mem st.allows rule) then begin
-    let p = loc.Location.loc_start in
-    st.findings <-
-      {
-        F.file;
-        line = p.Lexing.pos_lnum;
-        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-        rule;
-        message;
-      }
-      :: st.findings
-  end
+  if not (F.Allow.active st.allows rule) then
+    st.findings <- F.finding_of_loc ~file loc rule message :: st.findings
 
 (* --- Transitive mutability ------------------------------------------------- *)
 
@@ -584,44 +533,7 @@ let analyze_structure st ~file ~unit ~core_stats (str : structure) =
 
 (* --- Loading --------------------------------------------------------------- *)
 
-type unit_info = {
-  u_name : string;  (* canonical *)
-  u_src : string;
-  u_annots : Cmt_format.binary_annots;
-}
-
-let rec collect_cmt_files acc path =
-  match Sys.is_directory path with
-  | exception Sys_error _ -> acc
-  | true ->
-      (* Walk dot-directories too: dune keeps objects in [.objs]. *)
-      Array.fold_left
-        (fun acc entry -> collect_cmt_files acc (Filename.concat path entry))
-        acc (Sys.readdir path)
-  | false ->
-      if Filename.check_suffix path ".cmt" || Filename.check_suffix path ".cmti"
-      then path :: acc
-      else acc
-
-let cmt_files paths =
-  List.sort_uniq String.compare
-    (List.fold_left
-       (fun acc p -> if Sys.file_exists p then collect_cmt_files acc p else acc)
-       [] paths)
-
-let load path =
-  match Cmt_format.read_cmt path with
-  | exception _ -> None
-  | cmt ->
-      let src =
-        match cmt.Cmt_format.cmt_sourcefile with Some s -> s | None -> path
-      in
-      Some
-        {
-          u_name = canonical cmt.Cmt_format.cmt_modname;
-          u_src = src;
-          u_annots = cmt.Cmt_format.cmt_annots;
-        }
+let cmt_files = F.Cmt.files
 
 let analyze_paths paths =
   let st =
@@ -629,12 +541,12 @@ let analyze_paths paths =
       decls = Hashtbl.create 512;
       exported = Hashtbl.create 64;
       findings = [];
-      allows = Hashtbl.create 8;
+      allows = F.Allow.create ();
     }
   in
-  let units = List.filter_map load (cmt_files paths) in
+  let units = F.Cmt.load_all paths in
   List.iter
-    (fun u ->
+    (fun (u : F.Cmt.unit_info) ->
       match u.u_annots with
       | Cmt_format.Implementation str -> decls_of_structure st u.u_name [] str
       | Cmt_format.Interface sg ->
@@ -643,7 +555,7 @@ let analyze_paths paths =
       | _ -> ())
     units;
   List.iter
-    (fun u ->
+    (fun (u : F.Cmt.unit_info) ->
       let file = u.u_src in
       match u.u_annots with
       | Cmt_format.Implementation str ->

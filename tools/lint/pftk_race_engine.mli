@@ -44,7 +44,7 @@ val cmt_files : string list -> string list
     paths (sorted, deduplicated). Lets callers distinguish "clean tree"
     from "nothing was analyzed because no build artefacts exist". *)
 
-val analyze_paths : string list -> Pftk_lint_engine.finding list
+val analyze_paths : string list -> Pftk_findings.finding list
 (** [analyze_paths paths] loads every [.cmt]/[.cmti] found under the
     given paths (directories are walked recursively, including the
     dot-directories dune hides object files in; plain file paths are
