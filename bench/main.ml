@@ -138,6 +138,12 @@ let tree_is_flow_clean () =
   | [] -> true
   | _ :: _ -> report_findings (Pftk_flow_engine.analyze_paths roots)
 
+let tree_is_units_clean () =
+  let roots = cmt_roots () in
+  match Pftk_units_engine.cmt_files roots with
+  | [] -> true
+  | _ :: _ -> report_findings (Pftk_units_engine.analyze_paths roots)
+
 type analyzer_run = { an_name : string; an_clean : bool; an_seconds : float }
 
 let analyzer_runs () =
@@ -146,11 +152,12 @@ let analyzer_runs () =
     let an_clean = f () in
     { an_name; an_clean; an_seconds = Unix.gettimeofday () -. t0 }
   in
-  (* Evaluate all three so a dirty tree reports every finding at once. *)
+  (* Evaluate all four so a dirty tree reports every finding at once. *)
   [
     timed "pftk-lint" tree_is_lint_clean;
     timed "pftk-race" tree_is_race_clean;
     timed "pftk-flow" tree_is_flow_clean;
+    timed "pftk-units" tree_is_units_clean;
   ]
 
 (* --- Streaming throughput: events/second through the online estimators ---- *)
@@ -395,11 +402,12 @@ let write_timings_json ~path ~quick ~jobs ~analyzers ~streaming ~selfcheck
     ~batch ~fig10_profile timings =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pftk-bench-v5\",\n";
+  Printf.fprintf oc "  \"schema\": \"pftk-bench-v6\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
-  (* v5: the wall-clock of the three analyzers gating this very file;
-     they run on every `dune build`, so their cost is edit-loop cost. *)
+  (* v5: the wall-clock of the analyzers gating this very file; they
+     run on every `dune build`, so their cost is edit-loop cost.
+     v6: pftk-units joins the gate and the timing table. *)
   Printf.fprintf oc "  \"analyzers\": [\n";
   let na = List.length analyzers in
   List.iteri

@@ -526,7 +526,10 @@ let serve_cmd =
   let doc =
     Printf.sprintf
       "Answer a newline-delimited query stream ('p rtt t0 wm' per line, \
-       wm=0 for unlimited) with one send rate per line.  Malformed or \
+       wm=0 for unlimited) with one send rate per line.  Units: p is the \
+       loss probability (dimensionless, 0 < p < 1), rtt and t0 are \
+       seconds, wm is packets, and each output rate is packets per \
+       second (multiply by the MSS in bytes for bytes/s).  Malformed or \
        out-of-domain lines get the sentinel 'nan' on stdout and a 'pftk \
        serve: line N: ...' diagnostic on stderr without aborting the \
        stream; the exit status is nonzero only when every input line \

@@ -9,10 +9,11 @@
 
 type t = {
   n : int;  (** row count *)
-  p : floatarray;  (** loss probability, per row *)
-  rtt : floatarray;  (** round-trip time (s), per row *)
-  t0 : floatarray;  (** initial timeout (s), per row *)
-  wm : floatarray;  (** receiver window (packets, integral), per row *)
+  p : floatarray; [@pftk.unit "prob"]  (** loss probability, per row *)
+  rtt : floatarray; [@pftk.unit "s"]  (** round-trip time (s), per row *)
+  t0 : floatarray; [@pftk.unit "s"]  (** initial timeout (s), per row *)
+  wm : floatarray; [@pftk.unit "pkt"]
+  (** receiver window (packets, integral), per row *)
   mutable dirty : bool;
       (** [true] iff a row may have changed since the last successful
           {!Scan.validate}.  Maintained by {!set} (raises it) and the
@@ -27,16 +28,20 @@ val create : int -> t
 val length : t -> int
 
 val set : t -> int -> p:float -> rtt:float -> t0:float -> wm:float -> unit
+[@@pftk.unit "_ -> _ -> prob -> s -> s -> pkt -> _"]
 (** Fill row [i]; [wm <= 0.] maps to {!unlimited_wm} (the CLI's
     "no receiver limit" convention). *)
 
 val row : t -> int -> float * float * float * float
+[@@pftk.unit "_ -> _ -> (prob, s, s, pkt)"]
 (** [(p, rtt, t0, wm)] of row [i], as stored. *)
 
 val unlimited_wm : float
+[@@pftk.unit "pkt"]
 (** [float_of_int Params.unlimited_window]. *)
 
 val wm_to_int : float -> int
+[@@pftk.unit "pkt -> _"]
 (** Inverse of the storage convention: the scalar [wm] an in-domain
     column value denotes.  Values [>= unlimited_wm] clamp to
     [Params.unlimited_window]. *)

@@ -15,6 +15,7 @@ val default_chunk : int
 
 val run_into :
   ?jobs:int -> ?chunk:int -> Kernel.t -> Columns.t -> floatarray -> unit
+[@@pftk.unit "_ -> _ -> _ -> _ -> pkt/s -> _"]
 (** Scan all rows, then evaluate them into [out.(0 .. n-1)].  Raises
     [Invalid_argument] ["batch row %d: <scalar message>"] on the first
     out-of-domain row, before touching [out].  The scan is skipped when
@@ -23,6 +24,7 @@ val run_into :
     kernel speed. *)
 
 val run : ?jobs:int -> ?chunk:int -> Kernel.t -> Columns.t -> floatarray
+[@@pftk.unit "_ -> _ -> _ -> _ -> pkt/s"]
 (** {!run_into} into a fresh array. *)
 
 val loss_budget_into :
@@ -33,6 +35,7 @@ val loss_budget_into :
   rates:floatarray ->
   floatarray ->
   unit
+[@@pftk.unit "_ -> _ -> _ -> _ -> pkt/s -> prob -> _"]
 (** Batched {!Pftk_core.Inverse.loss_budget}: for each row, the largest
     loss probability under which the full model (with the row's [rtt],
     [t0], [wm] and the batch [b]) still sustains [rates.(i)] packets/s.
@@ -42,5 +45,6 @@ val loss_budget_into :
 
 val loss_budget :
   ?jobs:int -> ?chunk:int -> b:int -> Columns.t -> rates:floatarray -> floatarray
+[@@pftk.unit "_ -> _ -> _ -> _ -> pkt/s -> prob"]
 (** {!loss_budget_into} into a fresh array; unsolvable rows carry the
     same NaN sentinel. *)

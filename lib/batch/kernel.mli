@@ -28,6 +28,7 @@ val name : t -> string
 (** The scalar CLI's name for the kernel's model. *)
 
 val eval_into : t -> Columns.t -> pos:int -> len:int -> floatarray -> unit
+[@@pftk.unit "_ -> _ -> _ -> _ -> pkt/s -> _"]
 (** Evaluate rows [pos .. pos+len-1] into the same indices of the
     output array.  Range- and length-checked, but the rows themselves
     must already have passed the scan: out-of-domain values give
@@ -35,6 +36,7 @@ val eval_into : t -> Columns.t -> pos:int -> len:int -> floatarray -> unit
     scanned front door. *)
 
 val scalar_reference : t -> p:float -> rtt:float -> t0:float -> wm:float -> float
+[@@pftk.unit "_ -> prob -> s -> s -> pkt -> pkt/s"]
 (** The guarded scalar computation this kernel batches — what a
     per-row CLI invocation computes ([Model.send_rate] on a
     [Params.make] of the row, or [Tfrc.fair_rate]).  The oracle for

@@ -15,6 +15,7 @@ type error = { row : int; field : string; message : string }
 
 val check_row :
   p:float -> rtt:float -> t0:float -> wm:float -> (unit, string * string) result
+[@@pftk.unit "prob -> s -> s -> pkt -> _"]
 (** Validate one row; [Error (field, message)] identifies the first
     failing field in the scalar validation order. *)
 

@@ -5,6 +5,11 @@
 
     {v <p> <rtt-seconds> <t0-seconds> <wm-packets> v}
 
+    Units: [p] is the loss probability (dimensionless, [0 < p < 1]),
+    [rtt] and [t0] are seconds, [wm] is packets, and every output rate
+    is packets per second — multiply by the MSS in bytes
+    ([Pftk_core.Inverse.rate_in_bytes]) for bytes/s.
+
     Numbers are OCaml float literals ([float_of_string]); [wm <= 0]
     denotes "no receiver limit" (the CLI's [--wm] convention).  Output
     is exactly one line per input line: the send rate in packets/s
@@ -13,7 +18,12 @@
     and out-of-domain values) are reported on stderr as
     ["pftk serve: line %d: <message>"] without aborting the stream. *)
 
-type query = { p : float; rtt : float; t0 : float; wm : float }
+type query = {
+  p : float; [@pftk.unit "prob"]  (** loss probability, dimensionless *)
+  rtt : float; [@pftk.unit "s"]  (** round-trip time, seconds *)
+  t0 : float; [@pftk.unit "s"]  (** initial timeout, seconds *)
+  wm : float; [@pftk.unit "pkt"]  (** receiver window, packets *)
+}
 
 val max_line_bytes : int
 (** 4096: longer lines are rejected (never evaluated) with a
@@ -25,6 +35,7 @@ val sentinel : string
 (** ["nan"]: the output line for a rejected input line. *)
 
 val format_rate : float -> string
+[@@pftk.unit "pkt/s -> _"]
 (** ["%.17g"] — shortest text that round-trips the exact double. *)
 
 val parse_line : string -> (query, string) result

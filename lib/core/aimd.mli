@@ -18,28 +18,36 @@
     [1/p] packets per loss. *)
 
 type t = {
-  alpha : float;  (** Additive increase, packets per loss-free round. *)
-  beta : float;  (** Multiplicative decrease: window scales by [1 - beta]. *)
+  alpha : float; [@pftk.unit "1"]
+  (** Additive increase, packets per loss-free round (dimensionless in
+      the algebra: windows stay the [pkt] carrier). *)
+  beta : float; [@pftk.unit "1"]
+  (** Multiplicative decrease: window scales by [1 - beta]. *)
 }
 
 val tcp : t
 (** AIMD(1, 1/2). *)
 
 val make : alpha:float -> beta:float -> t
+[@@pftk.unit "1 -> 1 -> _"]
 (** Requires [alpha > 0] and [0 < beta < 1]. *)
 
 val e_w : t -> b:int -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt"]
 (** Mean window at the end of a TD period (the eq. (13) analog, leading
     term).  Reduces to [Tdonly.e_w]'s asymptotic at {!tcp}. *)
 
 val send_rate : t -> rtt:float -> b:int -> float -> float
+[@@pftk.unit "_ -> s -> _ -> prob -> pkt/s"]
 (** TD-only send rate (the eq. (20) analog), packets/second. *)
 
 val tcp_friendly_alpha : beta:float -> float
+[@@pftk.unit "1 -> 1"]
 (** The additive increase that makes AIMD(alpha, beta) consume the same
     bandwidth as TCP under equal (p, RTT): [alpha = 3 beta / (2 - beta)].
     E.g. [beta = 1/8] (a "smooth" flow) pairs with [alpha = 0.2]. *)
 
 val is_tcp_friendly : ?tolerance:float -> t -> bool
+[@@pftk.unit "1 -> _ -> _"]
 (** Whether the pair's send rate matches TCP's within [tolerance]
     (relative, default 1e-6) at any (p, RTT) — checked algebraically. *)

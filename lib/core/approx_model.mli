@@ -11,17 +11,21 @@
     paper verifies in §III that it tracks the full model closely. *)
 
 val send_rate : Params.t -> float -> float
+[@@pftk.unit "_ -> prob -> pkt/s"]
 (** Eq. (33), packets per second. *)
 
 val send_rate_uncapped : rtt:float -> t0:float -> b:int -> float -> float
+[@@pftk.unit "s -> s -> _ -> prob -> pkt/s"]
 (** Eq. (30): without the [Wm/RTT] clamp. *)
 
 val send_rate_unchecked : Params.t -> float -> float
+[@@pftk.unit "_ -> prob -> pkt/s"]
 (** {!send_rate} without the domain guards (validated-input convention:
     the caller vouches that [params] passes {!Params.validate} and
     [0 < p < 1]).  Bit-identical to {!send_rate} on the domain. *)
 
 val send_rate_uncapped_unchecked :
   rtt:float -> t0:float -> b:int -> float -> float
+[@@pftk.unit "s -> s -> _ -> prob -> pkt/s"]
 (** {!send_rate_uncapped} without the domain guards; same contract as
     {!send_rate_unchecked}. *)

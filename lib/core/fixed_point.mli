@@ -18,10 +18,12 @@
     underutilized and equilibrium loss is ~0. *)
 
 type equilibrium = {
-  p : float;  (** Equilibrium loss-indication probability (0 if underutilized). *)
-  per_flow_rate : float;  (** packets/s. *)
-  rtt : float;  (** Equilibrium RTT including queueing, seconds. *)
-  utilization : float;  (** [N * rate / C], at most ~1. *)
+  p : float; [@pftk.unit "prob"]
+  (** Equilibrium loss-indication probability (0 if underutilized). *)
+  per_flow_rate : float; [@pftk.unit "pkt/s"]  (** packets/s. *)
+  rtt : float; [@pftk.unit "s"]
+  (** Equilibrium RTT including queueing, seconds. *)
+  utilization : float; [@pftk.unit "1"]  (** [N * rate / C], at most ~1. *)
   window_limited : bool;  (** Whether flows are pinned by W_m instead of loss. *)
 }
 
@@ -36,6 +38,7 @@ val solve :
   base_rtt:float ->
   unit ->
   equilibrium
+[@@pftk.unit "_ -> _ -> 1 -> 1 -> _ -> pkt/s -> _ -> s -> _ -> _"]
 (** [solve ~flows ~capacity ~buffer ~base_rtt ()].  [t0_factor] maps RTT to
     the timeout duration ([T0 = t0_factor * RTT], default 4); [queue_fill]
     is the assumed mean occupancy of the buffer as a fraction (default
@@ -45,6 +48,7 @@ val solve :
 val required_buffer :
   ?b:int -> ?target_p:float -> flows:int -> capacity:float -> base_rtt:float ->
   unit -> int
+[@@pftk.unit "_ -> prob -> _ -> pkt/s -> s -> _ -> _"]
 (** Smallest drop-tail buffer (whole packets) whose equilibrium loss under
     {!solve} (with its defaults) is at most [target_p] (default 0.01): a
     provisioning helper that inverts the bandwidth-delay relation at the

@@ -9,39 +9,48 @@
     the TDP geometry changes to the flat-topped sawtooth of Fig. 6. *)
 
 val window_limited : Params.t -> float -> bool
+[@@pftk.unit "_ -> prob -> _"]
 (** [true] when [E[W_u] >= W_m], i.e. eq. (32) takes its second branch. *)
 
 val send_rate : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** Eq. (32), packets per second.  [q] selects how Q-hat is evaluated
     (default {!Qhat.Closed}, the paper's eq. 24); {!Qhat.Approximate} gives
     the [min(1, 3/w)] ablation. *)
 
 val send_rate_unchecked : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** {!send_rate} without the domain guards and without the duplicate
     [E[W_u]] evaluation (validated-input convention: the caller vouches
     that [params] passes {!Params.validate} and [0 < p < 1]).
     Bit-identical to {!send_rate} on the domain. *)
 
 val send_rate_unconstrained : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** Eq. (28): the no-window-limit branch, regardless of [W_m]. *)
 
 val send_rate_limited : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** The window-limited branch of eq. (32), regardless of [E[W_u]]. *)
 
 val e_u : Params.t -> float
+[@@pftk.unit "_ -> 1"]
 (** §II-C: expected rounds of linear growth per TDP when limited,
     [E[U] = (b/2) W_m]. *)
 
 val e_v : Params.t -> float -> float
+[@@pftk.unit "_ -> prob -> 1"]
 (** §II-C: expected rounds at the flat top,
     [E[V] = (1-p)/(p W_m) + 1 - (3b/8) W_m].  May be negative when the
     limited branch is evaluated outside its regime; callers guard with
     {!window_limited}. *)
 
 val e_x_limited : Params.t -> float -> float
+[@@pftk.unit "_ -> prob -> 1"]
 (** §II-C: [E[X] = (b/8) W_m + (1-p)/(p W_m) + 1]. *)
 
 val timeout_fraction : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> prob"]
 (** The model's Q of eq. (26): probability that a loss indication is a
     timeout, evaluated at the regime's effective window
     ([E[W_u]] or [W_m]). *)

@@ -15,6 +15,7 @@ val loss_for_rate :
   (float -> float) ->
   float ->
   float option
+[@@pftk.unit "prob -> prob -> 1 -> _ -> pkt/s -> prob"]
 (** [loss_for_rate model target] finds [p] in [\[lo, hi\]] (defaults
     [1e-9, 0.999]) with [model p = target], assuming [model] is
     non-increasing in [p].  [None] when the target lies outside
@@ -28,13 +29,16 @@ val loss_for_rate :
     always satisfies [model p >= target]. *)
 
 val tcp_friendly_rate : Params.t -> float -> float
+[@@pftk.unit "_ -> prob -> pkt/s"]
 (** The fair-share send rate a non-TCP flow should adopt under measured
     loss [p] and the path's parameters: {!Full_model.send_rate}. *)
 
 val tcp_friendly_rate_simple : Params.t -> float -> float
+[@@pftk.unit "_ -> prob -> pkt/s"]
 (** Same using the approximate model (eq. 33), the form TFRC standardized. *)
 
 val loss_budget : Params.t -> rate:float -> float option
+[@@pftk.unit "_ -> pkt/s -> prob"]
 (** Largest loss probability under which the full model still sustains
     [rate] (packets/s).  Eq. (32) is only piecewise monotone — the send
     rate jumps upward where [E[W_u]] crosses [W_m] — so this searches the
@@ -42,4 +46,5 @@ val loss_budget : Params.t -> rate:float -> float option
     trusting a single bisection across the knee. *)
 
 val rate_in_bytes : mss:int -> float -> float
+[@@pftk.unit "_ -> pkt/s -> byte/s"]
 (** Convert packets/s to bytes/s at a given maximum segment size. *)

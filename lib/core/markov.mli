@@ -29,18 +29,22 @@ val solve :
   Params.t ->
   float ->
   t
+[@@pftk.unit "_ -> _ -> 1 -> _ -> _ -> prob -> _"]
 (** [solve params p] builds and solves the chain.  [max_window] truncates
     the state space when [params.wm] is unlimited (default 256);
     [tolerance] is the L1 convergence threshold of the power iteration
     (default 1e-12). *)
 
 val send_rate : t -> float
+[@@pftk.unit "_ -> pkt/s"]
 (** Packets per second under the stationary distribution. *)
 
 val mean_window : t -> float
+[@@pftk.unit "_ -> pkt"]
 (** Stationary mean of [w]. *)
 
 val window_distribution : t -> float array
+[@@pftk.unit "_ -> prob"]
 (** [dist.(w - 1)] is the stationary probability of window size [w]
     (marginalized over ACK credit). *)
 

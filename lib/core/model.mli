@@ -16,6 +16,8 @@ val of_name : string -> kind option
 (** Inverse of {!name}; also accepts common aliases ("pftk", "mathis"). *)
 
 val send_rate : kind -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** Evaluate the chosen model; packets per second. *)
 
 val series : kind -> Params.t -> float array -> Sweep.point list
+[@@pftk.unit "_ -> _ -> prob -> _"]

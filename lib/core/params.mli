@@ -5,13 +5,16 @@
     function [p -> rate] at fixed path parameters. *)
 
 type t = {
-  rtt : float;  (** Average round-trip time, seconds (paper: RTT = E[r]). *)
-  t0 : float;  (** Average duration of a single timeout, seconds (T_0). *)
+  rtt : float; [@pftk.unit "s"]
+  (** Average round-trip time, seconds (paper: RTT = E[r]). *)
+  t0 : float; [@pftk.unit "s"]
+  (** Average duration of a single timeout, seconds (T_0). *)
   b : int;  (** Packets acknowledged per ACK; 2 with delayed ACKs (§II). *)
   wm : int;  (** Receiver-advertised maximum window, packets (W_m). *)
 }
 
 val make : ?b:int -> ?wm:int -> rtt:float -> t0:float -> unit -> t
+[@@pftk.unit "_ -> _ -> s -> s -> _ -> _"]
 (** [make ~rtt ~t0 ()] with [b] defaulting to 2 (delayed ACKs) and [wm] to
     [max_int/2] (effectively unlimited).  Raises [Invalid_argument] when
     [rtt <= 0.], [t0 <= 0.], [b < 1] or [wm < 1]. *)
@@ -23,6 +26,7 @@ val unlimited_window : int
 (** The sentinel used by {!make} for "no receiver limit". *)
 
 val check_p : float -> unit
+[@@pftk.unit "prob -> _"]
 (** Loss probabilities must satisfy [0. < p && p < 1.]; raises
     [Invalid_argument] otherwise.  [p = 0] would make every model's
     [1/p] terms diverge and [p = 1] starves the timeout series. *)

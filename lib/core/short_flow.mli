@@ -23,24 +23,31 @@
     the paper's bulk model. *)
 
 type phases = {
-  handshake : float;  (** Connection establishment, seconds. *)
-  slow_start : float;  (** Expected slow-start duration, seconds. *)
-  recovery : float;  (** Expected first-loss recovery cost, seconds. *)
-  congestion_avoidance : float;  (** Remaining-data drain time, seconds. *)
-  delayed_ack : float;  (** First-segment delayed-ACK penalty, seconds. *)
-  total : float;
+  handshake : float; [@pftk.unit "s"]  (** Connection establishment, seconds. *)
+  slow_start : float; [@pftk.unit "s"]
+  (** Expected slow-start duration, seconds. *)
+  recovery : float; [@pftk.unit "s"]
+  (** Expected first-loss recovery cost, seconds. *)
+  congestion_avoidance : float; [@pftk.unit "s"]
+  (** Remaining-data drain time, seconds. *)
+  delayed_ack : float; [@pftk.unit "s"]
+  (** First-segment delayed-ACK penalty, seconds. *)
+  total : float; [@pftk.unit "s"]
 }
 
 val expected_slow_start_data : p:float -> int -> float
+[@@pftk.unit "prob -> _ -> pkt"]
 (** [expected_slow_start_data ~p d]: expected number of the [d] packets
     sent in the initial slow-start phase,
     [(1 - (1-p)^d)(1-p)/p + 1] capped at [d] (Cardwell eq. for E[d_ss]). *)
 
 val slow_start_window : ?initial_window:float -> b:int -> wm:int -> float -> float
+[@@pftk.unit "pkt -> _ -> _ -> pkt -> pkt"]
 (** Window reached after sending a given amount of data in slow start,
     capped at [wm]. *)
 
 val slow_start_rounds : ?initial_window:float -> b:int -> wm:int -> float -> float
+[@@pftk.unit "pkt -> _ -> _ -> pkt -> 1"]
 (** Rounds needed to send that data growing geometrically by
     [gamma = 1 + 1/b] per round (with the cap, growth continues linearly
     at [wm] per round). *)
@@ -53,6 +60,7 @@ val expected_latency :
   p:float ->
   packets:int ->
   phases
+[@@pftk.unit "_ -> s -> pkt -> _ -> prob -> _ -> _"]
 (** [expected_latency params ~p ~packets] is the expected completion time
     of a [packets]-long transfer.  [handshake] (default true) charges one
     RTT for connection setup; [delayed_ack_timeout] (default 0.1 s, the
@@ -62,4 +70,5 @@ val expected_latency :
     range. *)
 
 val mean_rate : phases -> packets:int -> float
+[@@pftk.unit "_ -> _ -> pkt/s"]
 (** Effective packets/second of the whole transfer. *)

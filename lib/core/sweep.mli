@@ -2,18 +2,22 @@
     paper's figures. *)
 
 val logspace : lo:float -> hi:float -> n:int -> float array
+[@@pftk.unit "_ -> _ -> _ -> _"]
 (** [n] points geometrically spaced from [lo] to [hi] inclusive.
     Requires [0 < lo <= hi] and [n >= 2] (or [n = 1] when [lo = hi]). *)
 
 val linspace : lo:float -> hi:float -> n:int -> float array
+[@@pftk.unit "_ -> _ -> _ -> _"]
 
-type point = { p : float; rate : float }
+type point = { p : float; [@pftk.unit "prob"] rate : float [@pftk.unit "pkt/s"] }
 
 val series : (float -> float) -> float array -> point list
+[@@pftk.unit "_ -> prob -> _"]
 (** Evaluate a model over the given loss probabilities; points where the
     model raises or returns a non-finite value are dropped. *)
 
 val paper_loss_grid : unit -> float array
+[@@pftk.unit "_ -> prob"]
 (** The grid used by the figure drivers: 60 log-spaced points covering
     [p] from [1e-4] to [0.8], the x-range of Figs. 7 and 12. *)
 

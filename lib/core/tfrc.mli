@@ -13,17 +13,34 @@
     - {!Controller} combines the estimator with a smoothed RTT and the
       PFTK equation: before the first loss event it doubles its rate each
       feedback epoch (slow start); afterwards it paces at eq. (33)
-      evaluated at the measured loss event rate. *)
+      evaluated at the measured loss event rate.
+
+    {2 Units}
+
+    Every rate in this module is {e packet-normalized}: RFC 5348 states
+    the throughput equation in bytes/second with an explicit segment
+    size [s] in the numerator,
+    [X_Bps = s / (R sqrt(2bp/3) + t_RTO (3 sqrt(3bp/8)) p (1 + 32 p^2))],
+    while this module (like the rest of the suite) fixes [s = 1 MSS]
+    and reports packets/second.  The two conventions differ by exactly
+    the segment size: multiplying any rate here by the MSS in bytes
+    ({!Inverse.rate_in_bytes}) recovers the RFC's [X_Bps] — the
+    conversion is pinned against an RFC worked value in
+    [test/test_core.ml] ("tfrc-oracle" suite). *)
 
 val fair_rate : ?t0_factor:float -> rtt:float -> float -> float
+[@@pftk.unit "1 -> s -> prob -> pkt/s"]
 (** [fair_rate ~rtt p] is the raw TFRC throughput equation — eq. (33)
     with [T0 = max 1e-3 (t0_factor * rtt)], [b = 2] and no receiver
     window — as a standalone function ([t0_factor] defaults to 4, the
     RFC rule).  Identical to {!Controller.equation_rate} on a controller
-    with the same [t0_factor].  Raises [Invalid_argument] unless
-    [0 < p < 1], [rtt > 0] and [t0_factor > 0]. *)
+    with the same [t0_factor].  Packet-normalized ([s = 1 MSS]):
+    multiply by the MSS in bytes for RFC 5348's [X_Bps].  Raises
+    [Invalid_argument] unless [0 < p < 1], [rtt > 0] and
+    [t0_factor > 0]. *)
 
 val fair_rate_unchecked : t0_factor:float -> rtt:float -> float -> float
+[@@pftk.unit "1 -> s -> prob -> pkt/s"]
 (** {!fair_rate} without the domain guards (validated-input convention:
     the caller vouches for the domain).  Bit-identical to {!fair_rate}
     on the domain. *)
@@ -49,9 +66,11 @@ module Loss_history : sig
   val packets_seen : t -> int
 
   val average_interval : t -> float option
+  [@@pftk.unit "_ -> 1"]
   (** Weighted average loss interval, [None] before the first event. *)
 
   val loss_event_rate : t -> float option
+  [@@pftk.unit "_ -> prob"]
   (** [1 / average_interval]. *)
 end
 
@@ -65,18 +84,22 @@ module Controller : sig
     ?t0_factor:float ->
     unit ->
     t
+  [@@pftk.unit "pkt/s -> pkt/s -> 1 -> 1 -> _ -> _"]
   (** [initial_rate] (default 1 packet/s), [min_rate] floor (default one
       packet per 64 s, the protocol's trickle rate), [rtt_gain] the EWMA
       gain for RTT smoothing (default 0.1), [t0_factor] the RTO stand-in
       [T0 = t0_factor * RTT] (default 4, the RFC rule). *)
 
-  val on_rtt_sample : t -> float -> unit
+  val on_rtt_sample : t -> float -> unit [@@pftk.unit "_ -> s -> _"]
   val on_packet : t -> lost:bool -> unit
 
   val equation_rate : t -> float -> float -> float
+  [@@pftk.unit "_ -> prob -> s -> pkt/s"]
   (** [equation_rate t p rtt] is the raw throughput equation (eq. (33))
       at loss-event rate [p] and round-trip time [rtt], with
-      [T0 = t0_factor * rtt]; packets/second.  Raises [Invalid_argument]
+      [T0 = t0_factor * rtt]; packets/second, packet-normalized
+      ([s = 1 MSS]) — multiply by the MSS in bytes for RFC 5348's
+      [X_Bps].  Raises [Invalid_argument]
       unless [0 < p < 1] and [rtt > 0]. *)
 
   val feedback_epoch : t -> unit
@@ -85,8 +108,9 @@ module Controller : sig
       eq. (33) afterwards. *)
 
   val allowed_rate : t -> float
+  [@@pftk.unit "_ -> pkt/s"]
   (** Current allowed send rate, packets/second. *)
 
-  val loss_event_rate : t -> float option
-  val smoothed_rtt : t -> float option
+  val loss_event_rate : t -> float option [@@pftk.unit "_ -> prob"]
+  val smoothed_rtt : t -> float option [@@pftk.unit "_ -> s"]
 end

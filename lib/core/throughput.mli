@@ -11,18 +11,23 @@
     printed formulas exactly (tested). *)
 
 val send_rate : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** Alias for {!Full_model.send_rate}, for side-by-side comparison
     (Fig. 13). *)
 
 val throughput : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** Eq. (37): T(p), packets per second delivered to the receiver. *)
 
 val throughput_unconstrained : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** First branch of eq. (37) regardless of regime. *)
 
 val throughput_limited : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> pkt/s"]
 (** Second branch of eq. (37) regardless of regime. *)
 
 val delivery_ratio : ?q:Qhat.variant -> Params.t -> float -> float
+[@@pftk.unit "_ -> _ -> prob -> 1"]
 (** [throughput / send_rate]: fraction of sent packets that are delivered;
     in [\[0, 1\]] and decreasing in [p]. *)

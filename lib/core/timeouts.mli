@@ -6,30 +6,37 @@
     sequence extends while retransmissions keep getting lost. *)
 
 val f : float -> float
+[@@pftk.unit "prob -> 1"]
 (** Eq. (29): [f(p) = 1 + p + 2p^2 + 4p^3 + 8p^4 + 16p^5 + 32p^6]. *)
 
 val f_unchecked : float -> float
+[@@pftk.unit "prob -> 1"]
 (** {!f} without the domain guard: the caller vouches for [0 < p < 1]
     (validated-input convention — see DESIGN "Batch evaluation").
     Bit-identical to {!f} on its domain. *)
 
 val e_r : float -> float
+[@@pftk.unit "prob -> pkt"]
 (** Eq. (27): expected packet transmissions in a timeout sequence,
     [1 / (1-p)]. *)
 
 val sequence_duration : ?backoff_cap:int -> t0:float -> int -> float
+[@@pftk.unit "_ -> s -> _ -> s"]
 (** [sequence_duration ~t0 k] is L_k, the duration of a sequence of [k]
     timeouts: [(2^k - 1) T0] for [k <= cap + 1] and
     [((2^(cap+1) - 1) + 2^cap * (k - cap - 1)) T0] beyond.  The paper's cap
     is 6 (timer frozen at [64 T0 = 2^cap T0]); Irix-style stacks use 5. *)
 
 val p_sequence_length : float -> int -> float
+[@@pftk.unit "prob -> _ -> prob"]
 (** [P[R = k] = p^(k-1) (1-p)], the geometric law of the sequence length. *)
 
 val e_zto : t0:float -> float -> float
+[@@pftk.unit "s -> prob -> s"]
 (** Expected duration of a timeout sequence, [T0 * f(p) / (1-p)]. *)
 
 val e_zto_series : ?backoff_cap:int -> ?terms:int -> t0:float -> float -> float
+[@@pftk.unit "_ -> _ -> s -> prob -> s"]
 (** [E[Z^TO]] evaluated directly as [sum_k L_k P[R=k]]; converges to
     {!e_zto} for cap 6 (property-tested) and provides the ablation for other
     backoff caps. *)

@@ -28,8 +28,11 @@ let elasticities ?(params = Params.make ~rtt:0.2 ~t0:2. ~wm:32 ())
            max (wm_lo + 1) (int_of_float (float_of_int params.Params.wm *. 1.25))
          in
          let wrt_wm =
-           (log (Full_model.send_rate { params with Params.wm = wm_hi } p)
-           -. log (Full_model.send_rate { params with Params.wm = wm_lo } p))
+           (* log of the rate ratio, not a difference of logs: the pkt/s
+              units cancel inside the ratio. *)
+           log
+             (Full_model.send_rate { params with Params.wm = wm_hi } p
+             /. Full_model.send_rate { params with Params.wm = wm_lo } p)
            /. (log (float_of_int wm_hi) -. log (float_of_int wm_lo))
          in
          {

@@ -11,24 +11,37 @@
 type t
 
 val create : tau:float -> unit -> t
+[@@pftk.unit "s -> _ -> _"]
 (** Raises [Invalid_argument] when [tau <= 0.]. *)
 
 val bump : ?weight:float -> t -> time:float -> unit
+[@@pftk.unit "1 -> _ -> s -> _"]
 (** Add an event (default weight 1) at [time].  Timestamps must be
     non-decreasing; earlier timestamps are treated as [time = last]. *)
 
 val value : t -> time:float -> float
+[@@pftk.unit "_ -> s -> 1"]
+
 val tau : t -> float
+[@@pftk.unit "_ -> s"]
 
 (** {1 Decayed histogram} *)
 
 type hist
 
 val create_hist : tau:float -> buckets:int -> hist
+[@@pftk.unit "s -> _ -> _"]
 val observe : hist -> time:float -> int -> unit
+[@@pftk.unit "_ -> s -> _ -> _"]
 (** Raises [Invalid_argument] when the bucket index is out of range. *)
 
 val read : hist -> time:float -> float array
+[@@pftk.unit "_ -> s -> 1"]
+
 val total : hist -> time:float -> float
+[@@pftk.unit "_ -> s -> 1"]
+
 val buckets : hist -> int
+
 val hist_tau : hist -> float
+[@@pftk.unit "_ -> s"]

@@ -19,6 +19,7 @@ type mode =
           alone, as from a raw packet trace. *)
 
 val infer : ?dup_ack_threshold:int -> ?min_timeout_gap:float -> unit -> mode
+[@@pftk.unit "_ -> s -> _ -> _"]
 (** [Infer] with the analyzer's defaults (3 duplicate ACKs, 0.15 s idle
     gap) and the analyzer's argument validation. *)
 

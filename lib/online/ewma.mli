@@ -8,15 +8,21 @@
 type t
 
 val create : ?gain:float -> unit -> t
+[@@pftk.unit "1 -> _ -> _"]
 (** [gain] defaults to 0.125 (RFC 6298's alpha).  Raises
     [Invalid_argument] unless [0 < gain <= 1]. *)
 
 val update : t -> float -> unit
+[@@pftk.unit "_ -> _ -> _"]
 (** The first sample initializes the average exactly (no zero bias). *)
 
 val value : t -> float option
+[@@pftk.unit "_ -> _"]
 (** [None] before the first sample. *)
 
 val value_or : t -> default:float -> float
+[@@pftk.unit "_ -> _ -> _"]
+
 val gain : t -> float
+[@@pftk.unit "_ -> 1"]
 val reset : t -> unit

@@ -12,13 +12,17 @@
 type t
 
 val create : ?on_sample:(float -> unit) -> unit -> t
+[@@pftk.unit "_ -> _ -> _"]
 val push : t -> Pftk_trace.Event.t -> unit
 
 val samples : t -> int
 (** Samples produced so far. *)
 
 val sum : t -> float
+[@@pftk.unit "_ -> s"]
+
 val mean : t -> float option
+[@@pftk.unit "_ -> s"]
 (** Arithmetic mean of the samples so far, accumulated in arrival order
     (bit-identical to the post-hoc mean of the same prefix); [None]
     before the first sample. *)

@@ -12,23 +12,29 @@
     the whole-connection averages. *)
 
 type prediction = {
-  full : float;  (** Full model, eq. (32), packets/s. *)
-  approx : float;  (** Approximation, eq. (33), packets/s. *)
+  full : float; [@pftk.unit "pkt/s"]  (** Full model, eq. (32), packets/s. *)
+  approx : float; [@pftk.unit "pkt/s"]
+  (** Approximation, eq. (33), packets/s. *)
 }
 
 type snapshot = {
-  time : float;  (** Checkpoint time (an interval boundary, or "now"). *)
+  time : float; [@pftk.unit "s"]
+  (** Checkpoint time (an interval boundary, or "now"). *)
   packets_sent : int;
-  observed_rate : float;  (** Cumulative packets / duration. *)
-  p : float;  (** Cumulative loss-indication rate. *)
-  rtt : float;  (** Cumulative average RTT. *)
-  t0 : float;  (** Average first-timer duration, or [4 * rtt] before the
-                   first timeout (RFC 6298 stand-in). *)
-  p_decayed : float option;
+  observed_rate : float; [@pftk.unit "pkt/s"]
+  (** Cumulative packets / duration. *)
+  p : float; [@pftk.unit "prob"]  (** Cumulative loss-indication rate. *)
+  rtt : float; [@pftk.unit "s"]  (** Cumulative average RTT. *)
+  t0 : float; [@pftk.unit "s"]
+  (** Average first-timer duration, or [4 * rtt] before the
+      first timeout (RFC 6298 stand-in). *)
+  p_decayed : float option; [@pftk.unit "prob"]
       (** Decaying-window [p]: ratio of the indication and packet decay
           counters; [None] before the first packet. *)
-  rtt_ewma : float option;  (** EWMA (gain 1/8) of RTT samples. *)
-  rtt_windowed : float option;  (** Mean over the last interval's samples. *)
+  rtt_ewma : float option; [@pftk.unit "s"]
+  (** EWMA (gain 1/8) of RTT samples. *)
+  rtt_windowed : float option; [@pftk.unit "s"]
+  (** Mean over the last interval's samples. *)
   prediction : prediction option;
       (** [None] while the estimates are outside the model's domain
           (no loss yet, or no RTT sample yet). *)
@@ -44,6 +50,7 @@ val create :
   ?on_snapshot:(snapshot -> unit) ->
   Pftk_core.Params.t ->
   t
+[@@pftk.unit "_ -> _ -> s -> s -> _ -> _ -> _"]
 (** [create params] keeps [params.b] and [params.wm] fixed (they are path
     facts, not estimated) and replaces [rtt]/[t0] with the streaming
     estimates at each evaluation.  [interval] (default 100 s, must be
@@ -67,12 +74,14 @@ val summary : t -> Pftk_trace.Analyzer.summary
 (** The underlying streaming summary ({!Summary.current}). *)
 
 val decayed_backoff : t -> float array
+[@@pftk.unit "_ -> 1"]
 (** The six decayed backoff-histogram shares (T0..T5+) as of the last
     event. *)
 
 val snapshots_emitted : t -> int
 
 val interval : t -> float
+[@@pftk.unit "_ -> s"]
 val params : t -> Pftk_core.Params.t
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

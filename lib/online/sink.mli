@@ -31,6 +31,7 @@ val counting : counter -> t -> t
 
 val events : counter -> int
 val last_time : counter -> float
+[@@pftk.unit "_ -> s"]
 
 (** {1 Terminal sinks} *)
 

@@ -26,6 +26,7 @@ val create :
   ?on_indication:(Pftk_trace.Analyzer.indication -> unit) ->
   unit ->
   t
+[@@pftk.unit "_ -> _ -> s -> _ -> _ -> _"]
 (** Same defaults and argument validation as [Analyzer.summarize]:
     mode [`Ground_truth]; in [`Infer] mode RTT comes from streaming Karn
     matching and the threshold/gap options apply.  [on_indication] hears

@@ -11,19 +11,27 @@
 type t
 
 val create : ?capacity:int -> span:float -> unit -> t
+[@@pftk.unit "_ -> s -> _ -> _"]
 (** [capacity] defaults to 4096 samples.  Raises [Invalid_argument] when
     [span <= 0.] or [capacity < 1]. *)
 
 val add : t -> time:float -> float -> unit
+[@@pftk.unit "_ -> s -> _ -> _"]
 (** Timestamps must be non-decreasing (the trace stream's contract). *)
 
 val count : t -> now:float -> int
+[@@pftk.unit "_ -> s -> _"]
+
 val sum : t -> now:float -> float
+[@@pftk.unit "_ -> s -> _"]
 
 val mean : t -> now:float -> float option
+[@@pftk.unit "_ -> s -> _"]
 (** [None] when no sample is within [\[now - span, now\]]. *)
 
 val span : t -> float
+[@@pftk.unit "_ -> s"]
+
 val capacity : t -> int
 
 val dropped : t -> int

@@ -7,10 +7,12 @@
     duration and returns the sender's trace plus endpoint statistics. *)
 
 type scenario = {
-  forward_bandwidth : float;  (** bytes/s on the data direction. *)
-  reverse_bandwidth : float;
-  forward_delay : float;  (** one-way propagation, seconds. *)
-  reverse_delay : float;
+  forward_bandwidth : float; [@pftk.unit "byte/s"]
+  (** bytes/s on the data direction. *)
+  reverse_bandwidth : float; [@pftk.unit "byte/s"]
+  forward_delay : float; [@pftk.unit "s"]
+  (** one-way propagation, seconds. *)
+  reverse_delay : float; [@pftk.unit "s"]
   buffer : Pftk_netsim.Queue_discipline.t;  (** Bottleneck buffer. *)
   data_loss : Pftk_loss.Loss_process.t option;
       (** Extra random loss on data packets (cross-traffic stand-in). *)
@@ -25,14 +27,15 @@ val default_scenario : scenario
 
 type result = {
   recorder : Pftk_trace.Recorder.t;  (** The sender-side trace. *)
-  duration : float;
+  duration : float; [@pftk.unit "s"]
   packets_sent : int;
   segments_delivered : int;  (** Receiver-side distinct in-order segments. *)
   retransmissions : int;
   timeouts : int;
   fast_retransmits : int;
-  send_rate : float;  (** packets/s — the paper's B. *)
-  throughput : float;  (** packets/s delivered — the paper's T. *)
+  send_rate : float; [@pftk.unit "pkt/s"]  (** packets/s — the paper's B. *)
+  throughput : float; [@pftk.unit "pkt/s"]
+  (** packets/s delivered — the paper's T. *)
   rtt_flight_samples : (float * int) array;
   forward_stats : Pftk_netsim.Link.stats;
 }
@@ -40,6 +43,7 @@ type result = {
 val run :
   ?seed:int64 -> ?recorder:Pftk_trace.Recorder.t -> duration:float ->
   scenario -> result
+[@@pftk.unit "_ -> _ -> s -> _ -> _"]
 (** Simulate a saturated transfer for [duration] simulated seconds.
     [recorder] substitutes a caller-built recorder for the internal one —
     pass [Recorder.create ~buffered:false ()] with subscribed sinks to run
@@ -48,6 +52,7 @@ val run :
     [result.recorder] is then unbuffered). *)
 
 val rtt_window_correlation : result -> float
+[@@pftk.unit "_ -> 1"]
 (** Pearson correlation between RTT samples and packets in flight — the
     §IV independence check ([-0.1, 0.1] on normal paths, up to 0.97 on the
     modem path of Fig. 11).  Returns [0.] with fewer than two samples. *)

@@ -31,12 +31,12 @@ type config = {
   mss : int;  (** Segment payload bytes (wire size adds [header]). *)
   header : int;
   wm : int;  (** Receiver-advertised window, packets (the model's W_m). *)
-  initial_cwnd : float;
-  initial_ssthresh : float;
+  initial_cwnd : float; [@pftk.unit "pkt"]
+  initial_ssthresh : float; [@pftk.unit "pkt"]
   dup_ack_threshold : int;
   backoff_cap : int;
-  min_rto : float;
-  max_rto : float;
+  min_rto : float; [@pftk.unit "s"]
+  max_rto : float; [@pftk.unit "s"]
   recovery : recovery_style;  (** Default [Reno_recovery], the paper's. *)
 }
 
@@ -66,7 +66,10 @@ val stop : t -> unit
 (** {2 Observables} *)
 
 val cwnd : t -> float
+[@@pftk.unit "_ -> pkt"]
+
 val ssthresh : t -> float
+[@@pftk.unit "_ -> pkt"]
 val flight : t -> int
 (** Outstanding segments, [snd_nxt - snd_una]. *)
 

@@ -17,20 +17,25 @@ val create :
   ?beta:float ->
   unit ->
   t
+[@@pftk.unit "s -> s -> s -> s -> 1 -> 1 -> _ -> _"]
 (** Defaults: initial RTO 3 s (RFC 1122), min 0.2 s (typical late-90s BSD
     tick-based floor), max 240 s, granularity 0.1 s, gains
     [alpha = 1/8], [beta = 1/4]. *)
 
 val observe : t -> float -> unit
+[@@pftk.unit "_ -> s -> _"]
 (** Feed one RTT sample (seconds, positive).  First sample initializes
     [srtt = r], [rttvar = r/2]; later samples run the EWMA pair. *)
 
 val srtt : t -> float option
+[@@pftk.unit "_ -> s"]
 (** Smoothed RTT; [None] before the first sample. *)
 
 val rttvar : t -> float option
+[@@pftk.unit "_ -> s"]
 
 val rto : t -> float
+[@@pftk.unit "_ -> s"]
 (** Current timer value: [srtt + max(granularity, 4 rttvar)], clamped to
     [\[min_rto, max_rto\]]; [initial_rto] before any sample. *)
 

@@ -25,7 +25,8 @@ type kind =
 type spec = {
   name : string;
   kind : kind;
-  start_time : float;  (** When the flow begins sending, seconds. *)
+  start_time : float; [@pftk.unit "s"]
+  (** When the flow begins sending, seconds. *)
 }
 
 val reno : ?config:Reno.config -> string -> spec
@@ -42,14 +43,17 @@ type flow_result = {
   kind_label : string;  (** "reno", "tfrc" or "cross". *)
   packets_sent : int;
   packets_delivered : int;
-  goodput : float;  (** Delivered packets/s over the flow's active time. *)
-  loss_rate : float;  (** Fraction of this flow's packets dropped. *)
+  goodput : float; [@pftk.unit "pkt/s"]
+  (** Delivered packets/s over the flow's active time. *)
+  loss_rate : float; [@pftk.unit "prob"]
+  (** Fraction of this flow's packets dropped. *)
 }
 
 type result = {
   flows : flow_result list;
-  bottleneck_utilization : float;  (** Busy fraction of the shared link. *)
-  jain_fairness : float;
+  bottleneck_utilization : float; [@pftk.unit "1"]
+  (** Busy fraction of the shared link. *)
+  jain_fairness : float; [@pftk.unit "1"]
       (** Jain's index over per-flow goodputs, in [(1/n), 1]. *)
 }
 

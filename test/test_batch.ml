@@ -255,6 +255,43 @@ let run_serve ?(flags = "") queries =
   in
   (code, read_file "serve_out.txt", read_file "serve_err.txt")
 
+(* `pftk serve --help` must state the units of the protocol: the four
+   input columns (p dimensionless, rtt/t0 seconds, wm packets) and the
+   packets-per-second output.  Pinned so a doc rewrite cannot silently
+   drop the units contract (ISSUE: units discrepancies between
+   conventions are exactly what the dimensional-analysis pass exists to
+   keep explicit). *)
+let test_serve_help_documents_units () =
+  let code =
+    Sys.command
+      "../bin/pftk.exe serve --help=plain 1>serve_help.txt 2>/dev/null"
+  in
+  Alcotest.(check int) "--help exits 0" 0 code;
+  (* Cmdliner reflows the doc paragraph, so collapse all whitespace
+     runs (including the wrap newlines) before substring matching. *)
+  let help =
+    String.concat " "
+      (String.split_on_char '\n' (read_file "serve_help.txt")
+      |> List.concat_map (String.split_on_char ' ')
+      |> List.filter (fun w -> w <> ""))
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length help in
+    let rec go i = i + n <= h && (String.sub help i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "help mentions %S" needle)
+        true (contains needle))
+    [
+      "loss probability (dimensionless";
+      "rtt and t0 are seconds";
+      "wm is packets";
+      "packets per second";
+    ]
+
 let test_serve_mixed_stream () =
   let code, out, err =
     run_serve
@@ -379,6 +416,7 @@ let () =
       ( "serve",
         [
           case "mixed stream contract" test_serve_mixed_stream;
+          case "--help documents units" test_serve_help_documents_units;
           case "all-bad stream exits 1" test_serve_all_bad_exits_nonzero;
           case "empty stream" test_serve_empty_stream;
           case "overlong line" test_serve_overlong_line;

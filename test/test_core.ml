@@ -777,6 +777,31 @@ let feed_interval h interval =
   done;
   Tfrc.Loss_history.on_packet h ~lost:true
 
+(* RFC 5348 states the TFRC throughput equation in bytes/s with the
+   segment size [s] in the numerator,
+     X_Bps = s / (R sqrt(2bp/3) + t_RTO (3 sqrt(3bp/8)) p (1 + 32 p^2)),
+   while [Tfrc.fair_rate] is packet-normalized (s = 1 MSS, packets/s).
+   Pin one worked value: R = 200 ms, p = 1%, b = 2, t_RTO = 4R (the RFC
+   rule, [fair_rate]'s default [t0_factor]), s = 1460 B.  At this p the
+   paper's min(1, 3 sqrt(3bp/8)) clamp in eq. (33) does not bind, so the
+   RFC spelling and eq. (33) coincide and
+     X_pps = 39.715442331954421,  X_Bps = 57984.545804653455 = s * X_pps.
+   Multiplying the packet rate by the MSS ([Inverse.rate_in_bytes]) must
+   recover the RFC's X_Bps exactly. *)
+let test_tfrc_rfc5348_worked_value () =
+  let rtt = 0.2 and p = 0.01 and mss = 1460 in
+  let x_pps = Tfrc.fair_rate ~rtt p in
+  check_float ~eps:1e-9 "packet-normalized rate (packets/s)"
+    39.715442331954421 x_pps;
+  let x_bps = Inverse.rate_in_bytes ~mss x_pps in
+  check_float ~eps:1e-6 "RFC 5348 X_Bps (bytes/s)" 57984.545804653455 x_bps;
+  check_float ~eps:0. "conversion is exactly mss * rate"
+    (float_of_int mss *. x_pps) x_bps;
+  (* The controller's equation_rate is the same equation. *)
+  let c = Tfrc.Controller.create () in
+  check_float ~eps:0. "Controller.equation_rate agrees" x_pps
+    (Tfrc.Controller.equation_rate c p rtt)
+
 let test_loss_history_uniform () =
   let h = Tfrc.Loss_history.create () in
   (* 9 events at packets 100, 200, ..., 900: 8 closed intervals of 100. *)
@@ -1034,6 +1059,7 @@ let () =
           case "weighted history" test_loss_history_weighted;
           case "history discounting" test_loss_history_discounting;
           case "agrees with online p" test_loss_history_vs_online_p;
+          case "RFC 5348 worked value" test_tfrc_rfc5348_worked_value;
         ] );
       ("properties", props);
     ]

@@ -4,8 +4,8 @@
    like the workspace, then fed to [Pftk_flow_engine.analyze_paths].
    One triggering fixture per rule F1-F4 (each proving a nonzero
    finding count), guard/allow/clean variants, an end-to-end exit-code
-   check of the pftk_flow CLI, and the JSON schema-shape test shared by
-   all three analyzer CLIs. *)
+   check of the pftk_flow CLI, and the JSON/SARIF schema-shape test
+   shared by all four analyzer CLIs. *)
 
 module Flow = Pftk_flow_engine
 module F = Pftk_findings
@@ -332,13 +332,15 @@ let test_cli () =
   Alcotest.(check bool) "usage error explains itself" true
     (F.contains_sub err "no .cmt")
 
-(* --- JSON schema shape across all three CLIs ---------------------------------- *)
+(* --- JSON/SARIF schema shape across all four CLIs ------------------------------ *)
 
-(* Every analyzer prints findings through [Pftk_findings.pp_findings_json],
-   so the contract below — a JSON array of objects whose keys appear in
-   the fixed order file, line, col, rule, message, sorted by
-   (file, line, col, rule) — is checked once against real output of all
-   three CLIs rather than per-tool. *)
+(* Every analyzer prints findings through [Pftk_findings.pp_findings_json]
+   and [pp_findings_sarif], so the contracts below — a JSON array of
+   objects whose keys appear in the fixed order file, line, col, rule,
+   message, sorted by (file, line, col, rule); and a single-run SARIF
+   2.1.0 log whose results cite rules declared by the driver — are
+   checked once against real output of all four CLIs rather than
+   per-tool. *)
 
 let index_of hay needle =
   let n = String.length needle and h = String.length hay in
@@ -396,17 +398,69 @@ let check_cli_json ~tool exe args =
     (tool ^ " findings are sorted by file")
     (List.sort compare order_key) order_key
 
+(* SARIF 2.1.0 (--format=sarif): same findings, one run, the driver
+   named after the tool, each result carrying a ruleId echoed in the
+   driver's rules table and a physical location whose startColumn is
+   1-based (the JSON format's col is 0-based). *)
+let check_cli_sarif ~tool exe args =
+  let status, text, _ = run_cli exe args in
+  Alcotest.(check int) (tool ^ " sarif exits 1 on findings") 1 status;
+  let has needle =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s sarif contains %s" tool needle)
+      true
+      (index_of text needle <> None)
+  in
+  has {|"$schema": "https://json.schemastore.org/sarif-2.1.0.json"|};
+  has {|"version": "2.1.0"|};
+  has (Printf.sprintf {|"name": "%s"|} tool);
+  List.iter has
+    [
+      {|"rules": [{"id": "|};
+      {|"ruleId": "|};
+      {|"level": "error"|};
+      {|"message": {"text": "|};
+      {|"physicalLocation": {"artifactLocation": {"uri": "|};
+      {|"region": {"startLine": |};
+      {|"startColumn": |};
+    ];
+  (* Every result's ruleId must be declared in the driver's rules
+     table. *)
+  let rules_start =
+    match index_of text {|"rules": [|} with
+    | Some i -> i
+    | None -> Alcotest.fail "no rules table"
+  in
+  let rules_end = String.index_from text rules_start ']' in
+  let table = String.sub text rules_start (rules_end - rules_start) in
+  String.split_on_char '{' text
+  |> List.iter (fun chunk ->
+         match index_of chunk {|"ruleId": "|} with
+         | None -> ()
+         | Some i ->
+             let start = i + String.length {|"ruleId": "|} in
+             let j = String.index_from chunk start '"' in
+             let rule = String.sub chunk start (j - start) in
+             Alcotest.(check bool)
+               (Printf.sprintf "%s declares rule %s" tool rule)
+               true
+               (index_of table (Printf.sprintf {|{"id": "%s"}|} rule) <> None))
+
+let check_cli_formats ~tool exe root =
+  check_cli_json ~tool exe [ "--format=json"; root ];
+  check_cli_sarif ~tool exe [ "--format=sarif"; root ]
+
 let test_json_schema_shape () =
   (* One dirty tree per analyzer kind: a source tree for pftk-lint, a
-     compiled tree for pftk-race and pftk-flow. *)
+     compiled tree for pftk-race, pftk-flow and pftk-units.  Each tree
+     is checked in both machine formats. *)
   let lint_root = fresh_root () in
   let dir = List.fold_left Filename.concat lint_root [ "lib"; "core" ] in
   mkdir_p dir;
   let oc = open_out (Filename.concat dir "fixture.ml") in
   output_string oc "let f x = x = 0.\nlet g = ref 0\n";
   close_out oc;
-  check_cli_json ~tool:"pftk-lint" (cli "pftk_lint.exe")
-    [ "--format=json"; lint_root ];
+  check_cli_formats ~tool:"pftk-lint" (cli "pftk_lint.exe") lint_root;
   let race_root = fresh_root () in
   compile_fixtures race_root
     [
@@ -414,8 +468,7 @@ let test_json_schema_shape () =
         "let order (a : float) (b : float) = compare a b\n\
          let send_rate ~rtt p = 1. /. (rtt *. sqrt p)\n" );
     ];
-  check_cli_json ~tool:"pftk-race" (cli "pftk_race.exe")
-    [ "--format=json"; race_root ];
+  check_cli_formats ~tool:"pftk-race" (cli "pftk_race.exe") race_root;
   let flow_root = fresh_root () in
   compile_fixtures flow_root
     [
@@ -424,8 +477,14 @@ let test_json_schema_shape () =
          let rate p = rate_unchecked p\n\
          let[@pftk.zero_alloc] pair x = (x, x)\n" );
     ];
-  check_cli_json ~tool:"pftk-flow" (cli "pftk_flow.exe")
-    [ "--format=json"; flow_root ]
+  check_cli_formats ~tool:"pftk-flow" (cli "pftk_flow.exe") flow_root;
+  let units_root = fresh_root () in
+  compile_fixtures units_root
+    [
+      ( "lib/core/fixture.ml",
+        "let[@pftk.unit \"s -> pkt -> 1\"] bad rtt wnd = rtt +. wnd\n" );
+    ];
+  check_cli_formats ~tool:"pftk-units" (cli "pftk_units.exe") units_root
 
 let () =
   Alcotest.run "pftk_flow"
@@ -451,6 +510,6 @@ let () =
       ( "cli",
         [
           case "exit codes and formats" test_cli;
-          case "json schema shape (all CLIs)" test_json_schema_shape;
+          case "json/sarif schema shape (all CLIs)" test_json_schema_shape;
         ] );
     ]

@@ -2,8 +2,8 @@
 # Analyzer self-test: every deliberately-broken fixture under
 # tools/lint/fixtures must make its analyzer exit 1 *and* name the
 # expected rule.  This is the canary for the analyzers themselves — a
-# lint/race/flow binary that silently stopped finding anything would
-# otherwise keep CI green forever.
+# lint/race/flow/units binary that silently stopped finding anything
+# would otherwise keep CI green forever.
 #
 # Layout: each fixture is copied into a throwaway tree shaped like the
 # workspace (lib/core/...), because the zone rules key on that relative
@@ -21,8 +21,9 @@ fixtures=tools/lint/fixtures
 lint=_build/default/tools/lint/pftk_lint.exe
 race=_build/default/tools/lint/pftk_race.exe
 flow=_build/default/tools/lint/pftk_flow.exe
+units=_build/default/tools/lint/pftk_units.exe
 
-for exe in "$lint" "$race" "$flow"; do
+for exe in "$lint" "$race" "$flow" "$units"; do
   if [ ! -x "$exe" ]; then
     echo "analyzer self-test: missing $exe (run dune build first)" >&2
     exit 2
@@ -95,5 +96,15 @@ tree=$(stage flow_f3 flow_f3.ml)
 expect F3 "$flow" "$tree"
 tree=$(stage flow_f4 flow_f4.mli flow_f4.ml)
 expect F4 "$flow" "$tree"
+
+say "pftk-units must fail on each U-rule fixture"
+tree=$(stage units_u1 units_u1.ml)
+expect U1 "$units" "$tree"
+tree=$(stage units_u2 units_u2.ml)
+expect U2 "$units" "$tree"
+tree=$(stage units_u3 units_u3.mli units_u3.ml)
+expect U3 "$units" "$tree"
+tree=$(stage units_u4 units_u4.ml)
+expect U4 "$units" "$tree"
 
 say "analyzer self-test passed"

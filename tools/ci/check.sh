@@ -4,10 +4,13 @@
 #   1. dune build          -- compiles everything at -warn-error +a and,
 #                             via the default alias, runs the @lint
 #                             (pftk-lint, rules L1-L5), @race
-#                             (pftk-race, rules R1-R4) and @flow
-#                             (pftk-flow, rules F1-F4) analyzers
-#   2. @flow (timed)       -- the interprocedural contract analyzer as
-#                             its own timed phase
+#                             (pftk-race, rules R1-R4), @flow
+#                             (pftk-flow, rules F1-F4) and @units
+#                             (pftk-units, rules U1-U4) analyzers
+#   2. @flow, @units (timed)
+#                          -- the interprocedural contract analyzer and
+#                             the dimensional-analysis pass, each as its
+#                             own timed phase
 #   3. analyzer self-test  -- the deliberately-broken fixtures under
 #                             tools/lint/fixtures must each make their
 #                             analyzer exit 1 (tools/ci/analyzer_selftest.sh)
@@ -48,9 +51,11 @@ phase() {
   say "$_label: done in $((_t1 - _t0))s"
 }
 
-phase "dune build (default alias: compile + @lint + @race + @flow)" dune build
+phase "dune build (default alias: compile + @lint + @race + @flow + @units)" dune build
 
 phase "dune build @flow (pftk-flow, rules F1-F4)" dune build @flow
+
+phase "dune build @units (pftk-units, rules U1-U4)" dune build @units
 
 phase "analyzer self-test (broken fixtures must fail)" \
   sh "$(dirname "$0")/analyzer_selftest.sh"

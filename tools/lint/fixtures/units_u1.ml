@@ -1,0 +1,2 @@
+(* U1 trigger: adds a seconds quantity to a packets quantity. *)
+let[@pftk.unit "s -> pkt -> 1"] bad rtt wnd = rtt +. wnd

@@ -1,0 +1,4 @@
+(* U2 trigger: passes a packets value where the callee declares
+   seconds. *)
+let[@pftk.unit "s -> 1"] normalize rtt = rtt /. rtt
+let[@pftk.unit "pkt -> 1"] bad w = normalize w

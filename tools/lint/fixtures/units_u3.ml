@@ -1,0 +1,1 @@
+let rate x = x

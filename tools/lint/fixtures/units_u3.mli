@@ -1,0 +1,3 @@
+val rate : float -> float
+(* U3 trigger: an exported float signature item in the lib/core zone
+   with no [@pftk.unit] annotation. *)

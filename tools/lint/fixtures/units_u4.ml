@@ -1,0 +1,3 @@
+(* U4 trigger: declares a pkt/s result but returns the seconds
+   argument unchanged. *)
+let[@pftk.unit "s -> pkt/s"] bad rtt = rtt

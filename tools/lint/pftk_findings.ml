@@ -43,6 +43,40 @@ let pp_findings_json ppf fs =
     fs;
   Format.fprintf ppf "%s]" (if fs = [] then "" else "\n")
 
+(* SARIF 2.1.0: the minimal static-analysis interchange shape GitHub
+   code scanning and most editors ingest — one run, one driver, one
+   rule descriptor per distinct rule id, one result per finding.
+   Columns are 1-based in SARIF where the compiler convention (and our
+   text/JSON output) is 0-based, hence [col + 1]. *)
+let pp_findings_sarif ~tool ppf fs =
+  let rules =
+    List.sort_uniq String.compare (List.map (fun f -> f.rule) fs)
+  in
+  Format.fprintf ppf "{@\n";
+  Format.fprintf ppf
+    {|  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",|};
+  Format.fprintf ppf "@\n  \"version\": \"2.1.0\",@\n  \"runs\": [@\n";
+  Format.fprintf ppf "    {@\n      \"tool\": {@\n        \"driver\": {@\n";
+  Format.fprintf ppf "          \"name\": \"%s\",@\n" (json_escape tool);
+  Format.fprintf ppf "          \"rules\": [";
+  List.iteri
+    (fun i r ->
+      Format.fprintf ppf "%s{\"id\": \"%s\"}"
+        (if i = 0 then "" else ", ")
+        (json_escape r))
+    rules;
+  Format.fprintf ppf "]@\n        }@\n      },@\n      \"results\": [";
+  List.iteri
+    (fun i f ->
+      Format.fprintf ppf "%s@\n        " (if i = 0 then "" else ",");
+      Format.fprintf ppf
+        {|{"ruleId": "%s", "level": "error", "message": {"text": "%s"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "%s"}, "region": {"startLine": %d, "startColumn": %d}}}]}|}
+        (json_escape f.rule) (json_escape f.message) (json_escape f.file)
+        f.line (f.col + 1))
+    fs;
+  Format.fprintf ppf "%s]@\n    }@\n  ]@\n}"
+    (if fs = [] then "" else "\n      ")
+
 let compare_findings a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c
@@ -222,12 +256,14 @@ let expand_build_roots roots =
 let run_cli ~tool ~default_roots ~analyze =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--format=json" args in
+  let sarif = List.mem "--format=sarif" args in
   let bad =
     List.filter
       (fun a ->
         String.length a >= 2
         && String.sub a 0 2 = "--"
-        && a <> "--format=json" && a <> "--format=text")
+        && a <> "--format=json" && a <> "--format=sarif"
+        && a <> "--format=text")
       args
   in
   (match bad with
@@ -249,7 +285,8 @@ let run_cli ~tool ~default_roots ~analyze =
       Printf.eprintf "%s: %s\n" tool message;
       exit 2
   | Ok (findings, detail) -> (
-      if json then Format.printf "%a@." pp_findings_json findings
+      if sarif then Format.printf "%a@." (pp_findings_sarif ~tool) findings
+      else if json then Format.printf "%a@." pp_findings_json findings
       else List.iter (Format.printf "%a@." pp_finding) findings;
       match findings with
       | [] ->

@@ -1,6 +1,7 @@
-(** Shared plumbing for the three in-repo analyzers — pftk-lint (AST
-    rules L1–L5), pftk-race (typed rules R1–R4) and pftk-flow
-    (interprocedural rules F1–F4).  Everything the engines have in
+(** Shared plumbing for the four in-repo analyzers — pftk-lint (AST
+    rules L1–L5), pftk-race (typed rules R1–R4), pftk-flow
+    (interprocedural rules F1–F4) and pftk-units (dimensional rules
+    U1–U4).  Everything the engines have in
     common lives here so each engine file carries only its rules: the
     finding record with its text and JSON renderings, path-zone tests,
     the scoped [[@lint.allow "..."]] escape hatch, canonical-name
@@ -11,7 +12,8 @@ type finding = {
   file : string;
   line : int;  (** 1-based *)
   col : int;  (** 0-based, compiler convention *)
-  rule : string;  (** "L1".."L5", "R1".."R4", "F1".."F4", or "parse" *)
+  rule : string;
+      (** "L1".."L5", "R1".."R4", "F1".."F4", "U1".."U4", or "parse" *)
   message : string;
 }
 
@@ -22,6 +24,13 @@ val pp_findings_json : Format.formatter -> finding list -> unit
 (** Renders the findings as a JSON array, one object per finding with
     fields [file], [line], [col], [rule], [message] — the
     [--format=json] output consumed by CI and editor integrations. *)
+
+val pp_findings_sarif : tool:string -> Format.formatter -> finding list -> unit
+(** Renders the findings as a SARIF 2.1.0 log (one run, driver [tool],
+    a rule descriptor per distinct rule id, one result per finding) —
+    the [--format=sarif] output GitHub code scanning and SARIF-aware
+    editors ingest.  SARIF columns are 1-based, so [startColumn] is
+    [col + 1]. *)
 
 val compare_findings : finding -> finding -> int
 (** Orders by file, then line, then column, then rule, then message. *)
@@ -103,9 +112,10 @@ val run_cli :
   default_roots:string list ->
   analyze:(string list -> (finding list * string, string) result) ->
   unit
-(** The CLI protocol shared by all three tools: positional arguments are
+(** The CLI protocol shared by all four tools: positional arguments are
     roots (defaulting to [default_roots]), [--format=json] switches the
-    report to JSON, any other [--] option errors with exit 2. [analyze]
+    report to JSON and [--format=sarif] to SARIF 2.1.0, any other [--]
+    option errors with exit 2. [analyze]
     maps the roots to findings plus a human summary detail for the
     "clean (...)" stderr line, or [Error message] (printed as
     "tool: message", exit 2). Exits 0 when clean, 1 on findings. *)
