@@ -89,6 +89,13 @@ let artifacts ~quick ~jobs =
                     ]
                   else Experiments.Fairness.default_scenarios)
                ~jobs ())) );
+    ( "redstability",
+      fun () ->
+        Experiments.Red_stability.(
+          print ppf
+            (generate
+               ~cells:(if quick then quick_cells else default_cells)
+               ~jobs ())) );
   ]
 
 (* BENCH_results.json feeds the cross-PR perf trajectory; refuse to
@@ -398,16 +405,59 @@ let fig10_profile_benchmark ~quick =
     model_eval_seconds = t3 -. t2;
   }
 
+(* --- Mean-field scale: equilibria for 1e5-1e6 flow populations ------------ *)
+
+type meanfield_solve = {
+  mf_flows : int;
+  mf_seconds : float;
+  mf_flows_per_second : float;
+  mf_iterations : int;
+}
+
+(* The solver's cost is per *population*, not per flow — the point of
+   the mean-field backend.  Canonical RED geometry (one-BDP buffer,
+   thresholds at B/6 and B/2), 20 pkt/s of capacity per flow; min of
+   five timed solves after a warm-up. *)
+let meanfield_benchmark () =
+  let module Solver = Pftk_meanfield.Solver in
+  let module Queue_law = Pftk_meanfield.Queue_law in
+  List.map
+    (fun flows ->
+      let capacity = 20. *. float_of_int flows in
+      let buffer = int_of_float (capacity *. 0.1) in
+      let bf = float_of_int buffer in
+      let law =
+        Queue_law.red ~capacity:buffer ~min_threshold:(bf /. 6.)
+          ~max_threshold:(bf /. 2.) ()
+      in
+      let cfg = Solver.default ~flows ~capacity ~base_rtt:0.1 ~law in
+      let eq = ref (Solver.solve cfg) in
+      let best = ref Float.infinity in
+      for _ = 1 to 5 do
+        let t0 = Unix.gettimeofday () in
+        eq := Solver.solve cfg;
+        best := Float.min !best (Unix.gettimeofday () -. t0)
+      done;
+      {
+        mf_flows = flows;
+        mf_seconds = !best;
+        mf_flows_per_second = float_of_int flows /. Float.max 1e-9 !best;
+        mf_iterations = !eq.Solver.iterations;
+      })
+    [ 100_000; 1_000_000 ]
+
 let write_timings_json ~path ~quick ~jobs ~analyzers ~streaming ~selfcheck
-    ~batch ~fig10_profile timings =
+    ~batch ~meanfield ~fig10_profile timings =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pftk-bench-v6\",\n";
+  Printf.fprintf oc "  \"schema\": \"pftk-bench-v7\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   (* v5: the wall-clock of the analyzers gating this very file; they
      run on every `dune build`, so their cost is edit-loop cost.
-     v6: pftk-units joins the gate and the timing table. *)
+     v6: pftk-units joins the gate and the timing table.
+     v7: the mean-field solver's flows/s at 1e5 and 1e6 flows, and the
+     redstability sweep joins the Part-1 artifacts. *)
   Printf.fprintf oc "  \"analyzers\": [\n";
   let na = List.length analyzers in
   List.iteri
@@ -462,6 +512,17 @@ let write_timings_json ~path ~quick ~jobs ~analyzers ~streaming ~selfcheck
      \"scalar_rows_per_second\": %.0f }\n"
     batch.inverse_rows batch.inverse_batch batch.inverse_scalar;
   Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"meanfield\": { \"solves\": [\n";
+  let nf = List.length meanfield in
+  List.iteri
+    (fun i m ->
+      Printf.fprintf oc
+        "    { \"flows\": %d, \"seconds\": %.6f, \"flows_per_second\": %.0f, \
+         \"iterations\": %d }%s\n"
+        m.mf_flows m.mf_seconds m.mf_flows_per_second m.mf_iterations
+        (if i = nf - 1 then "" else ","))
+    meanfield;
+  Printf.fprintf oc "  ] },\n";
   Printf.fprintf oc
     "  \"fig10_profile\": { \"simulation_seconds\": %.6f, \
      \"summarize_seconds\": %.6f, \"model_eval_seconds\": %.6f },\n"
@@ -518,6 +579,14 @@ let regenerate ~quick ~jobs =
     batch.models;
   Format.fprintf err "%-22s %12.3g rows/s  (scalar %.3g)@." "inverse"
     batch.inverse_batch batch.inverse_scalar;
+  let meanfield = meanfield_benchmark () in
+  Format.fprintf err "# Mean-field solver (RED equilibrium, cost per population)@.";
+  List.iter
+    (fun m ->
+      Format.fprintf err "%-22s %12.3g flows/s  (%.6f s, %d iterations)@."
+        (Printf.sprintf "meanfield n=%d" m.mf_flows)
+        m.mf_flows_per_second m.mf_seconds m.mf_iterations)
+    meanfield;
   let fig10_profile = fig10_profile_benchmark ~quick in
   Format.fprintf err
     "# Fig. 10 phase split: sim %.3f s, summarize %.3f s, models %.6f s@."
@@ -531,7 +600,7 @@ let regenerate ~quick ~jobs =
   Format.pp_print_flush err ();
   if List.for_all (fun a -> a.an_clean) analyzers then
     write_timings_json ~path:"BENCH_results.json" ~quick ~jobs ~analyzers
-      ~streaming ~selfcheck ~batch ~fig10_profile timings
+      ~streaming ~selfcheck ~batch ~meanfield ~fig10_profile timings
   else
     Format.fprintf err
       "# BENCH_results.json not written: tree fails \

@@ -388,7 +388,7 @@ let selfcheck_cmd =
   in
   let invariant_arg =
     let doc =
-      "Check only one invariant, by id (C1..C11) or name (e.g. \
+      "Check only one invariant, by id (C1..C12) or name (e.g. \
        inverse-roundtrip)."
     in
     Arg.(value & opt (some string) None & info [ "invariant" ] ~docv:"CK" ~doc)
@@ -436,7 +436,7 @@ let selfcheck_cmd =
   in
   let doc =
     "Property-based self-check: generate random cases and verify the \
-     paper-guaranteed invariants (C1..C11) across the whole suite, \
+     paper-guaranteed invariants (C1..C12) across the whole suite, \
      shrinking any counterexample.  Deterministic in --seed; the report \
      is byte-identical for every --jobs value."
   in
@@ -845,6 +845,244 @@ let figwindow_cmd =
     (Cmd.info "figwindow" ~doc:"Figs. 1/3/5: window-evolution sample paths.")
     Term.(const run $ seed_arg)
 
+(* --- mean-field backend --------------------------------------------------- *)
+
+let meanfield_cmd =
+  let module Solver = Pftk_meanfield.Solver in
+  let module Dynamics = Pftk_meanfield.Dynamics in
+  let module Queue_law = Pftk_meanfield.Queue_law in
+  let flows_arg =
+    let doc = "Population size: the number of homogeneous TCP flows." in
+    Arg.(value & opt int 100_000 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Bottleneck capacity, packets per second." in
+    Arg.(value & opt float 10_000. & info [ "capacity" ] ~docv:"PKT/S" ~doc)
+  in
+  let base_rtt_arg =
+    let doc = "Two-way propagation delay excluding queueing, seconds." in
+    Arg.(value & opt float 0.1 & info [ "base-rtt" ] ~docv:"SECONDS" ~doc)
+  in
+  let buffer_arg =
+    let doc =
+      "Buffer hard limit, packets.  0 (the default) sizes it to one \
+       bandwidth-delay product."
+    in
+    Arg.(value & opt int 0 & info [ "buffer" ] ~docv:"PACKETS" ~doc)
+  in
+  let law_arg =
+    let doc =
+      "Drop law at the bottleneck: $(b,red) (ramp between the thresholds), \
+       $(b,droptail) (loss only at a full buffer), or $(b,constant) (fixed \
+       loss probability, no queue)."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("red", `Red); ("droptail", `Droptail); ("constant", `Constant) ]) `Red
+      & info [ "law" ] ~docv:"LAW" ~doc)
+  in
+  let red_min_arg =
+    let doc = "RED minimum threshold, packets (default: buffer/6)." in
+    Arg.(value & opt float 0. & info [ "red-min" ] ~docv:"PACKETS" ~doc)
+  in
+  let red_max_arg =
+    let doc = "RED maximum threshold, packets (default: buffer/2)." in
+    Arg.(value & opt float 0. & info [ "red-max" ] ~docv:"PACKETS" ~doc)
+  in
+  let red_maxp_arg =
+    let doc = "RED drop probability at the top of the ramp." in
+    Arg.(value & opt float 0.1 & info [ "red-maxp" ] ~docv:"PROB" ~doc)
+  in
+  let red_weight_arg =
+    let doc = "RED average-queue EWMA weight (per packet)." in
+    Arg.(value & opt float 0.002 & info [ "red-weight" ] ~docv:"WEIGHT" ~doc)
+  in
+  let constant_p_arg =
+    let doc = "Loss probability for the constant law." in
+    Arg.(value & opt float 0.01 & info [ "constant-p" ] ~docv:"PROB" ~doc)
+  in
+  let rate_law_arg =
+    let doc = "Per-flow rate model: eq. (32) ($(b,full)) or eq. (33) ($(b,approximate))." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("full", Solver.Full); ("approximate", Solver.Approximate) ]) Solver.Full
+      & info [ "rate-law" ] ~docv:"MODEL" ~doc)
+  in
+  let damping_arg =
+    let doc = "Fixed-point damping factor in (0, 1]." in
+    Arg.(value & opt float 0.5 & info [ "damping" ] ~docv:"GAMMA" ~doc)
+  in
+  let equilibrium_only_arg =
+    let doc =
+      "Skip the time-domain integration: report the fixed point without the \
+       stable/oscillating verdict."
+    in
+    Arg.(value & flag & info [ "equilibrium-only" ] ~doc)
+  in
+  let max_solver_seconds_arg =
+    let doc =
+      "Fail (exit 1) when the equilibrium solve takes longer than $(docv) \
+       wall-clock seconds; 0 disables the check.  CI uses this to hold the \
+       scale promise: equilibria for 100000+ flows in well under a second."
+    in
+    Arg.(value & opt float 0. & info [ "max-solver-seconds" ] ~docv:"SECONDS" ~doc)
+  in
+  let cross_validate_arg =
+    let doc =
+      "Run the netsim cross-validation instead: N = 2..64 reno flows \
+       through the packet-level shared bottleneck vs the same scenarios \
+       under the mean-field solver, with per-flow goodput relative errors."
+    in
+    Arg.(value & flag & info [ "cross-validate" ] ~doc)
+  in
+  let run flows capacity base_rtt buffer law red_min red_max red_maxp
+      red_weight constant_p rate_law damping b wm equilibrium_only
+      max_solver_seconds cross_validate seed quick jobs =
+    if cross_validate then begin
+      let scenarios =
+        if quick then Pftk_experiments.Meanfield_xval.quick_scenarios
+        else Pftk_experiments.Meanfield_xval.default_scenarios
+      in
+      Pftk_experiments.Meanfield_xval.(
+        print ppf (generate ~seed ~scenarios ~jobs ()))
+    end
+    else begin
+      let buffer =
+        if buffer > 0 then buffer
+        else Int.max 8 (int_of_float (capacity *. base_rtt))
+      in
+      let law =
+        match law with
+        | `Droptail -> Queue_law.drop_tail ~capacity:buffer
+        | `Constant -> Queue_law.constant ~p:constant_p
+        | `Red ->
+            let bf = float_of_int buffer in
+            let min_threshold = if red_min > 0. then red_min else bf /. 6. in
+            let max_threshold = if red_max > 0. then red_max else bf /. 2. in
+            Queue_law.red ~weight:red_weight ~max_probability:red_maxp
+              ~capacity:buffer ~min_threshold ~max_threshold ()
+      in
+      let cfg =
+        {
+          (Solver.default ~flows ~capacity ~base_rtt ~law) with
+          Solver.b;
+          wm;
+          rate_law;
+          damping;
+        }
+      in
+      let t_start = Unix.gettimeofday () in
+      let eq = Solver.solve cfg in
+      let solver_seconds = Unix.gettimeofday () -. t_start in
+      Format.fprintf ppf "Mean-field equilibrium (%d flows)@." flows;
+      Format.fprintf ppf "  law: %s@."
+        (match law with
+        | Queue_law.Drop_tail c -> Printf.sprintf "droptail(buffer=%d pkt)" c
+        | Queue_law.Constant p -> Printf.sprintf "constant(p=%g)" p
+        | Queue_law.Red r ->
+            Printf.sprintf
+              "red(buffer=%d pkt, min=%g, max=%g, maxp=%g, weight=%g)"
+              r.Queue_law.red_capacity r.Queue_law.min_threshold
+              r.Queue_law.max_threshold r.Queue_law.max_probability
+              r.Queue_law.weight);
+      Format.fprintf ppf "  loss probability p:  %.6f@." eq.Solver.p;
+      Format.fprintf ppf "  queue occupancy:     %.1f pkt@." eq.Solver.queue;
+      Format.fprintf ppf "  rtt:                 %.4f s@." eq.Solver.rtt;
+      Format.fprintf ppf "  per-flow rate:       %.2f pkt/s@."
+        eq.Solver.per_flow_rate;
+      Format.fprintf ppf "  per-flow goodput:    %.2f pkt/s@."
+        eq.Solver.per_flow_goodput;
+      Format.fprintf ppf "  utilization:         %.3f@." eq.Solver.utilization;
+      Format.fprintf ppf "  window-limited:      %s@."
+        (if eq.Solver.window_limited then "yes" else "no");
+      (match eq.Solver.outcome with
+      | Solver.Converged ->
+          Format.fprintf ppf
+            "  solver: converged in %d iterations (residual %.2e pkt, loop \
+             gain %.2f)@."
+            eq.Solver.iterations eq.Solver.residual eq.Solver.loop_gain
+      | Solver.Oscillating amplitude ->
+          Format.fprintf ppf
+            "  solver: no fixed point after %d iterations (queue bouncing \
+             +-%.1f pkt, loop gain %.2f)@."
+            eq.Solver.iterations amplitude eq.Solver.loop_gain);
+      if not equilibrium_only then begin
+        let d = Dynamics.run (Dynamics.default cfg) in
+        (match d.Dynamics.verdict with
+        | Dynamics.Stable ->
+            Format.fprintf ppf "  verdict: stable (queue settles at %.1f pkt)@."
+              d.Dynamics.mean_queue
+        | Dynamics.Oscillating { Dynamics.amplitude; period } ->
+            Format.fprintf ppf
+              "  verdict: oscillating (amplitude %.1f pkt%s — RED \
+               instability)@."
+              amplitude
+              (if period > 0. then Printf.sprintf ", period %.2f s" period
+               else ""));
+        Format.fprintf ppf "  dynamics: queue %.1f..%.1f pkt, mean window %.1f \
+                            pkt, mean goodput %.2f pkt/s@."
+          d.Dynamics.queue_min d.Dynamics.queue_max d.Dynamics.mean_window
+          d.Dynamics.mean_goodput
+      end;
+      (* Timing to stderr so stdout stays byte-comparable across runs. *)
+      Format.eprintf "solver time: %.6f s (%.3g flows/s)@." solver_seconds
+        (float_of_int flows /. Float.max 1e-9 solver_seconds);
+      if max_solver_seconds > 0. && solver_seconds > max_solver_seconds then begin
+        Format.eprintf
+          "pftk meanfield: solver took %.3f s, over the %.3f s budget@."
+          solver_seconds max_solver_seconds;
+        exit 1
+      end
+    end
+  in
+  let doc =
+    "Mean-field equilibrium and stability of N TCP flows behind one RED, \
+     drop-tail or constant drop law."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Solves the population fixed point of the PFTK model behind a drop \
+         law: inputs are the population size, the bottleneck capacity in \
+         packets per second, the base round-trip time in seconds and the \
+         drop law; the cost is independent of the number of flows.";
+      `P
+        "The report gives the equilibrium loss probability, queue occupancy \
+         in packets, RTT, per-flow send rate and goodput in packets per \
+         second, link utilization, and the solver's convergence record.  \
+         Unless --equilibrium-only is given, the time-domain mean-field \
+         dynamics then deliver the verdict line: $(b,stable) when the queue \
+         settles, $(b,oscillating) with the limit-cycle amplitude and \
+         period when RED's averaging lag and feedback delay sustain a \
+         queue-law oscillation (Reynier's RED instability) — a result, \
+         not an error.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "meanfield" ~doc ~man)
+    Term.(
+      const run $ flows_arg $ capacity_arg $ base_rtt_arg $ buffer_arg
+      $ law_arg $ red_min_arg $ red_max_arg $ red_maxp_arg $ red_weight_arg
+      $ constant_p_arg $ rate_law_arg $ damping_arg $ b_arg $ wm_arg
+      $ equilibrium_only_arg $ max_solver_seconds_arg $ cross_validate_arg
+      $ seed_arg $ quick_arg $ jobs_arg)
+
+let redstability_cmd =
+  let run quick jobs =
+    let cells =
+      if quick then Pftk_experiments.Red_stability.quick_cells
+      else Pftk_experiments.Red_stability.default_cells
+    in
+    Pftk_experiments.Red_stability.(print ppf (generate ~cells ~jobs ()))
+  in
+  Cmd.v
+    (Cmd.info "redstability"
+       ~doc:
+         "RED stability boundary: stable vs oscillating mean-field regimes \
+          over an EWMA-weight x capacity x population sweep.")
+    Term.(const run $ quick_arg $ jobs_arg)
+
 let all_cmd =
   let run seed quick jobs =
     Pftk_experiments.Table1.print ppf;
@@ -891,7 +1129,15 @@ let all_cmd =
                   };
                 ]
               else default_scenarios)
-           ~jobs ()))
+           ~jobs ()));
+    Pftk_experiments.Meanfield_xval.(
+      print ppf
+        (generate ~seed
+           ~scenarios:(if quick then quick_scenarios else default_scenarios)
+           ~jobs ()));
+    Pftk_experiments.Red_stability.(
+      print ppf
+        (generate ~cells:(if quick then quick_cells else default_cells) ~jobs ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure.")
     Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
@@ -930,6 +1176,8 @@ let main_cmd =
       validate_cmd;
       fairness_cmd;
       sensitivity_cmd;
+      meanfield_cmd;
+      redstability_cmd;
       all_cmd;
     ]
 

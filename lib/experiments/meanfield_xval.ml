@@ -1,0 +1,103 @@
+module SB = Pftk_tcp.Shared_bottleneck
+module Solver = Pftk_meanfield.Solver
+module Queue_law = Pftk_meanfield.Queue_law
+
+type scenario = {
+  label : string;
+  flows : int;
+  buffer : int;
+  bandwidth : float;
+  one_way_delay : float;
+  wire_bytes : int;
+  duration : float;
+}
+
+type row = {
+  scenario : scenario;
+  netsim_goodput : float;
+  meanfield_goodput : float;
+  netsim_loss : float;
+  meanfield_loss : float;
+  netsim_queue : float;
+  meanfield_queue : float;
+  goodput_rel_err : float;
+}
+
+let scenario_at ~duration flows =
+  {
+    label = Printf.sprintf "%d reno flows" flows;
+    flows;
+    buffer = 64;
+    bandwidth = 1_250_000.;
+    one_way_delay = 0.02;
+    wire_bytes = 1500;
+    duration;
+  }
+
+let default_scenarios = List.map (scenario_at ~duration:120.) [ 2; 4; 8; 16; 32; 64 ]
+let quick_scenarios = List.map (scenario_at ~duration:40.) [ 2; 8; 32 ]
+
+let evaluate ?(seed = 61L) s =
+  let specs =
+    List.init s.flows (fun i -> SB.reno (Printf.sprintf "reno-%d" (i + 1)))
+  in
+  let result =
+    SB.run ~seed ~buffer:s.buffer ~bandwidth:s.bandwidth
+      ~one_way_delay:s.one_way_delay ~duration:s.duration specs
+  in
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0. result.SB.flows
+    /. float_of_int s.flows
+  in
+  let ns_goodput = mean (fun (r : SB.flow_result) -> r.SB.goodput) in
+  let ns_loss = mean (fun (r : SB.flow_result) -> r.SB.loss_rate) in
+  (* The mean-field twin: same path in packet units.  Reno's receiver
+     delay-ACKs every second segment (b = 2) and advertises wm = 32. *)
+  let capacity = s.bandwidth /. float_of_int s.wire_bytes in
+  let cfg =
+    {
+      (Solver.default ~flows:s.flows ~capacity
+         ~base_rtt:(2. *. s.one_way_delay)
+         ~law:(Queue_law.drop_tail ~capacity:s.buffer))
+      with
+      Solver.wm = Pftk_tcp.Reno.default_config.Pftk_tcp.Reno.wm;
+    }
+  in
+  let eq = Solver.solve cfg in
+  {
+    scenario = s;
+    netsim_goodput = ns_goodput;
+    meanfield_goodput = eq.Solver.per_flow_goodput;
+    netsim_loss = ns_loss;
+    meanfield_loss = eq.Solver.p;
+    netsim_queue = result.SB.bottleneck_mean_queue;
+    meanfield_queue = eq.Solver.queue;
+    goodput_rel_err =
+      (if ns_goodput > 0. then
+         Float.abs (eq.Solver.per_flow_goodput -. ns_goodput) /. ns_goodput
+       else Float.infinity);
+  }
+
+let generate ?(seed = 61L) ?(scenarios = default_scenarios) ?(jobs = 1) () =
+  Pftk_parallel.mapi ~jobs
+    (fun i s -> evaluate ~seed:(Int64.add seed (Int64.of_int i)) s)
+    scenarios
+
+let print ppf rows =
+  Report.heading ppf
+    "Mean-field vs netsim: N reno flows at a drop-tail bottleneck";
+  Format.fprintf ppf
+    "  %5s  %22s  %18s  %15s  %7s@." "flows" "goodput pkt/s (ns|mf)"
+    "loss (ns|mf)" "queue (ns|mf)" "relerr";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  %5d  %10.1f | %9.1f  %.4f | %.4f  %6.1f | %6.1f  %6.3f@."
+        r.scenario.flows r.netsim_goodput r.meanfield_goodput r.netsim_loss
+        r.meanfield_loss r.netsim_queue r.meanfield_queue r.goodput_rel_err)
+    rows;
+  let worst =
+    List.fold_left (fun acc r -> Float.max acc r.goodput_rel_err) 0. rows
+  in
+  Report.kv ppf "worst per-flow goodput relative error"
+    (Printf.sprintf "%.3f" worst)

@@ -1,0 +1,52 @@
+(** Mean-field vs. packet-level cross-validation at a shared bottleneck.
+
+    The mean-field backend claims the equilibrium of N homogeneous Reno
+    flows for the cost of a fixed-point iteration; [netsim] computes the
+    same scenario one packet at a time.  Where the packet-level simulation
+    is affordable (N = 2..64) the two must agree — this family runs both
+    sides on identical drop-tail bottleneck scenarios and reports mean
+    per-flow goodput, loss and queue occupancy from each, with the
+    relative goodput error that the test suite pins a tolerance on. *)
+
+type scenario = {
+  label : string;
+  flows : int;  (** Reno population size. *)
+  buffer : int;  (** Drop-tail bottleneck buffer, packets. *)
+  bandwidth : float; [@pftk.unit "byte/s"]  (** Bottleneck bandwidth. *)
+  one_way_delay : float; [@pftk.unit "s"]
+  wire_bytes : int;  (** Bytes per packet on the wire (MSS + headers). *)
+  duration : float; [@pftk.unit "s"]  (** Packet-level simulated time. *)
+}
+
+type row = {
+  scenario : scenario;
+  netsim_goodput : float; [@pftk.unit "pkt/s"]
+      (** Mean per-flow delivered rate from the packet simulation. *)
+  meanfield_goodput : float; [@pftk.unit "pkt/s"]
+      (** {!Pftk_meanfield.Solver} equilibrium per-flow goodput. *)
+  netsim_loss : float; [@pftk.unit "prob"]
+  meanfield_loss : float; [@pftk.unit "prob"]
+  netsim_queue : float; [@pftk.unit "pkt"]
+  meanfield_queue : float; [@pftk.unit "pkt"]
+  goodput_rel_err : float; [@pftk.unit "1"]
+      (** [|meanfield - netsim| / netsim]. *)
+}
+
+val default_scenarios : scenario list
+(** N = 2, 4, 8, 16, 32 and 64 flows on the {!Pftk_tcp.Shared_bottleneck}
+    default path: 1.25 MB/s, 20 ms one-way, 64-packet buffer, 1500-byte
+    packets. *)
+
+val quick_scenarios : scenario list
+(** N = 2, 8 and 32 with shorter simulated time, for smoke runs. *)
+
+val evaluate : ?seed:int64 -> scenario -> row
+(** One scenario, both sides; the seed drives only the packet-level
+    simulation. *)
+
+val generate :
+  ?seed:int64 -> ?scenarios:scenario list -> ?jobs:int -> unit -> row list
+(** All scenarios, fanned out over {!Pftk_parallel}; output is independent
+    of [jobs]. *)
+
+val print : Format.formatter -> row list -> unit

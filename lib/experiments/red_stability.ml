@@ -1,0 +1,104 @@
+module Solver = Pftk_meanfield.Solver
+module Dynamics = Pftk_meanfield.Dynamics
+module Queue_law = Pftk_meanfield.Queue_law
+
+type cell = {
+  label : string;
+  flows : int;
+  capacity : float;
+  base_rtt : float;
+  buffer : int;
+  min_threshold : float;
+  max_threshold : float;
+  max_probability : float;
+  weight : float;
+}
+
+type outcome = {
+  cell : cell;
+  equilibrium : Solver.equilibrium;
+  dynamics : Dynamics.result;
+  stable : bool;
+}
+
+let cell ?(base_rtt = 0.1) ?(max_probability = 0.1) ~flows ~capacity ~weight
+    () =
+  let buffer = Int.max 8 (int_of_float (capacity *. base_rtt)) in
+  let b = float_of_int buffer in
+  {
+    label =
+      Printf.sprintf "w=%g C=%g pkt/s N=%d" weight capacity flows;
+    flows;
+    capacity;
+    base_rtt;
+    buffer;
+    min_threshold = b /. 6.;
+    max_threshold = b /. 2.;
+    max_probability;
+    weight;
+  }
+
+let default_cells =
+  List.concat_map
+    (fun weight ->
+      List.concat_map
+        (fun capacity ->
+          List.map
+            (fun flows -> cell ~flows ~capacity ~weight ())
+            [ 50; 400 ])
+        [ 1_000.; 8_000. ])
+    [ 0.0005; 0.005; 0.05 ]
+
+let quick_cells =
+  [
+    cell ~flows:50 ~capacity:1_000. ~weight:0.05 ();
+    cell ~flows:50 ~capacity:8_000. ~weight:0.0005 ();
+    cell ~flows:400 ~capacity:1_000. ~weight:0.005 ();
+    cell ~flows:400 ~capacity:8_000. ~weight:0.05 ();
+  ]
+
+let evaluate c =
+  let law =
+    Queue_law.red ~weight:c.weight ~max_probability:c.max_probability
+      ~capacity:c.buffer ~min_threshold:c.min_threshold
+      ~max_threshold:c.max_threshold ()
+  in
+  let solver =
+    Solver.default ~flows:c.flows ~capacity:c.capacity ~base_rtt:c.base_rtt
+      ~law
+  in
+  let dynamics = Dynamics.run (Dynamics.default solver) in
+  {
+    cell = c;
+    equilibrium = dynamics.Dynamics.equilibrium;
+    dynamics;
+    stable =
+      (match dynamics.Dynamics.verdict with
+      | Dynamics.Stable -> true
+      | Dynamics.Oscillating _ -> false);
+  }
+
+let generate ?(cells = default_cells) ?(jobs = 1) () =
+  Pftk_parallel.map ~jobs evaluate cells
+
+let print ppf outcomes =
+  Report.heading ppf
+    "RED stability boundary (mean-field dynamics verdicts)";
+  Format.fprintf ppf "  %-28s  %8s  %7s  %7s  %-22s@." "cell" "p" "queue"
+    "util" "verdict";
+  List.iter
+    (fun o ->
+      let verdict =
+        match o.dynamics.Dynamics.verdict with
+        | Dynamics.Stable -> "stable"
+        | Dynamics.Oscillating { Dynamics.amplitude; period } ->
+            Printf.sprintf "oscillating +-%.1f pkt%s" amplitude
+              (if period > 0. then Printf.sprintf " T=%.2fs" period else "")
+      in
+      Format.fprintf ppf "  %-28s  %8.5f  %7.1f  %7.3f  %-22s@."
+        o.cell.label o.equilibrium.Solver.p o.dynamics.Dynamics.mean_queue
+        o.equilibrium.Solver.utilization verdict)
+    outcomes;
+  let stable_n = List.length (List.filter (fun o -> o.stable) outcomes) in
+  Report.kv ppf "stable cells"
+    (Printf.sprintf "%d / %d" stable_n (List.length outcomes))

@@ -1,0 +1,60 @@
+(** The RED stability boundary as a mean-field experiment family.
+
+    Reynier's condition says a RED queue feeding N TCP flows is stable
+    only when the feedback loop — drop-probability slope, averaging lag
+    (the EWMA [weight]) and the one-RTT reaction delay — is gentle enough;
+    past the boundary the queue settles into a limit cycle instead of an
+    operating point.  Each cell of this family solves the mean-field
+    equilibrium and then integrates {!Pftk_meanfield.Dynamics} to a
+    stable/oscillating verdict, sweeping the EWMA weight (the gain axis),
+    the link capacity and the population size.  Every cell is
+    deterministic; the sweep fans out over {!Pftk_parallel} with output
+    independent of [jobs]. *)
+
+type cell = {
+  label : string;
+  flows : int;
+  capacity : float; [@pftk.unit "pkt/s"]
+  base_rtt : float; [@pftk.unit "s"]
+  buffer : int;  (** RED hard limit, packets. *)
+  min_threshold : float; [@pftk.unit "pkt"]
+  max_threshold : float; [@pftk.unit "pkt"]
+  max_probability : float; [@pftk.unit "prob"]
+  weight : float; [@pftk.unit "1/pkt"]  (** EWMA gain — the swept axis. *)
+}
+
+type outcome = {
+  cell : cell;
+  equilibrium : Pftk_meanfield.Solver.equilibrium;
+  dynamics : Pftk_meanfield.Dynamics.result;
+  stable : bool;  (** [dynamics.verdict = Stable]. *)
+}
+
+val cell :
+  ?base_rtt:float ->
+  ?max_probability:float ->
+  flows:int ->
+  capacity:float ->
+  weight:float ->
+  unit ->
+  cell
+[@@pftk.unit "s -> prob -> _ -> pkt/s -> 1/pkt -> _ -> _"]
+(** A cell on the canonical geometry: 100 ms base RTT, a one
+    bandwidth-delay-product buffer, thresholds at 1/6 and 1/2 of it and
+    [max_probability] 0.1 — so [weight], [capacity] and [flows] alone
+    place the cell relative to the stability boundary. *)
+
+val default_cells : cell list
+(** A weight × capacity × population grid straddling the boundary: slow
+    averaging (small weight) destabilizes fast links, and the test suite
+    pins one cell from each side. *)
+
+val quick_cells : cell list
+(** A 4-cell subset (both verdicts represented) for smoke runs. *)
+
+val evaluate : cell -> outcome
+(** Solve + integrate one cell; purely deterministic. *)
+
+val generate : ?cells:cell list -> ?jobs:int -> unit -> outcome list
+
+val print : Format.formatter -> outcome list -> unit

@@ -1,0 +1,162 @@
+type osc = { amplitude : float; period : float }
+type verdict = Stable | Oscillating of osc
+
+type config = {
+  solver : Solver.config;
+  bins : int;
+  horizon : float;
+  dt : float;
+  osc_threshold : float;
+}
+
+let default solver =
+  {
+    solver;
+    bins = 256;
+    horizon = Float.max 2. (400. *. solver.Solver.base_rtt);
+    dt = 0.;
+    osc_threshold = 1.;
+  }
+
+type result = {
+  verdict : verdict;
+  equilibrium : Solver.equilibrium;
+  mean_queue : float;
+  queue_min : float;
+  queue_max : float;
+  mean_window : float;
+  mean_goodput : float;
+  steps : int;
+}
+
+let run cfg =
+  if not (cfg.horizon > 0.) then
+    invalid_arg "Dynamics.run: horizon must be positive";
+  if cfg.osc_threshold < 0. then
+    invalid_arg "Dynamics.run: negative osc_threshold";
+  let sc = cfg.solver in
+  let eq = Solver.solve sc in
+  let n = float_of_int sc.Solver.flows in
+  let capacity = sc.Solver.capacity in
+  let base_rtt = sc.Solver.base_rtt in
+  let b_rounds = float_of_int sc.Solver.b in
+  let law = sc.Solver.law in
+  let buffer = float_of_int (Queue_law.capacity law) in
+  (* Window span: the receiver cap when one is set, else comfortable
+     headroom above the equilibrium window. *)
+  let wmax =
+    if sc.Solver.wm > 0 then float_of_int sc.Solver.wm
+    else Float.max 8. (3. *. eq.Solver.per_flow_rate *. eq.Solver.rtt)
+  in
+  let hist = Window_hist.create ~bins:cfg.bins ~wmax () in
+  let w_eq =
+    Float.max 1. (Float.min (0.95 *. wmax) (eq.Solver.per_flow_rate *. eq.Solver.rtt))
+  in
+  Window_hist.reset hist ~mean:w_eq ~spread:(0.5 *. w_eq);
+  let dt =
+    if cfg.dt > 0. then cfg.dt
+    else begin
+      (* A fraction of the feedback delay, and under the drift CFL bound
+         at the fastest (empty-queue) drift. *)
+      let cfl = 0.9 *. Window_hist.width hist *. b_rounds *. base_rtt in
+      Float.min (base_rtt /. 16.) cfl
+    end
+  in
+  let steps_total =
+    Int.max 2 (int_of_float (Float.ceil (cfg.horizon /. dt)))
+  in
+  let settle = steps_total / 2 in
+  let samples = Array.make (steps_total - settle) 0. in
+  (* Senders react to drops one propagation round late. *)
+  let delay_len = Int.max 1 (int_of_float ((base_rtt /. dt) +. 0.5)) in
+  let delayed = Array.make delay_len eq.Solver.p in
+  let delay_at = ref 0 in
+  let q = ref eq.Solver.queue in
+  let qbar = ref eq.Solver.queue in
+  let sum_w = ref 0. in
+  let sum_goodput = ref 0. in
+  let recorded = ref 0 in
+  for step = 0 to steps_total - 1 do
+    let rtt = base_rtt +. (!q /. capacity) in
+    let w_mean = Window_hist.mean hist in
+    let arrival = n *. w_mean /. rtt in
+    let p_now =
+      match law with
+      | Queue_law.Constant p0 -> p0
+      | Queue_law.Red _ -> Queue_law.drop_prob law ~avg_queue:!qbar
+      | Queue_law.Drop_tail _ ->
+          (* Fluid drop-tail: a full buffer sheds exactly the excess. *)
+          if !q >= buffer && arrival > capacity then 1. -. (capacity /. arrival)
+          else 0.
+    in
+    let p_seen = delayed.(!delay_at) in
+    delayed.(!delay_at) <- p_now;
+    delay_at := (!delay_at + 1) mod delay_len;
+    Window_hist.step hist ~dt ~drift:(1. /. (b_rounds *. rtt)) ~p:p_seen ~rtt;
+    (match law with
+    | Queue_law.Constant _ -> ()
+    | Queue_law.Drop_tail _ | Queue_law.Red _ ->
+        let dq = dt *. ((arrival *. (1. -. p_now)) -. capacity) in
+        q := Float.max 0. (Float.min buffer (!q +. dq));
+        (match law with
+        | Queue_law.Red red ->
+            let gain =
+              Float.min 1. (red.Queue_law.weight *. arrival *. dt)
+            in
+            qbar := !qbar +. (gain *. (!q -. !qbar))
+        | Queue_law.Drop_tail _ | Queue_law.Constant _ -> qbar := !q));
+    if step >= settle then begin
+      (* The oscillation signal: the queue, except in the open-loop
+         constant law where only the window distribution can move. *)
+      samples.(!recorded) <-
+        (match law with Queue_law.Constant _ -> w_mean | _ -> !q);
+      sum_w := !sum_w +. w_mean;
+      sum_goodput := !sum_goodput +. (w_mean /. rtt *. (1. -. p_now));
+      incr recorded
+    end
+  done;
+  let count = Float.max 1. (float_of_int !recorded) in
+  let sig_min = ref Float.infinity in
+  let sig_max = ref Float.neg_infinity in
+  let sig_sum = ref 0. in
+  for i = 0 to !recorded - 1 do
+    let s = samples.(i) in
+    if s < !sig_min then sig_min := s;
+    if s > !sig_max then sig_max := s;
+    sig_sum := !sig_sum +. s
+  done;
+  let sig_mean = !sig_sum /. count in
+  let amplitude = Float.max 0. ((!sig_max -. !sig_min) /. 2.) in
+  let crossings = ref 0 in
+  for i = 1 to !recorded - 1 do
+    let a = samples.(i - 1) -. sig_mean and b = samples.(i) -. sig_mean in
+    if (a < 0. && b >= 0.) || (a >= 0. && b < 0.) then incr crossings
+  done;
+  let verdict =
+    if amplitude > Float.max cfg.osc_threshold (0.02 *. Float.max 1. sig_mean)
+    then begin
+      let period =
+        if !crossings >= 3 then
+          2. *. float_of_int !recorded *. dt /. float_of_int !crossings
+        else 0.
+      in
+      Oscillating { amplitude; period }
+    end
+    else Stable
+  in
+  let queue_stats =
+    match law with
+    | Queue_law.Constant _ -> (0., 0., 0.)
+    | _ -> (sig_mean, !sig_min, !sig_max)
+  in
+  let mean_queue, queue_min, queue_max = queue_stats in
+  {
+    verdict;
+    equilibrium = eq;
+    mean_queue;
+    queue_min;
+    queue_max;
+    mean_window = !sum_w /. count;
+    mean_goodput = !sum_goodput /. count;
+    steps = steps_total;
+  }

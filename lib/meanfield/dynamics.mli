@@ -1,0 +1,68 @@
+(** Time-domain mean-field dynamics: the stable/oscillating verdict.
+
+    The equilibrium of {!Solver} says where the system balances; whether
+    the population actually settles there is Reynier's RED stability
+    question, and it depends on what the fixed point cannot see — the
+    EWMA averaging lag ({!Queue_law.red} [weight]) and the one-RTT delay
+    before senders react to a drop.  This module integrates the full
+    coupled system forward in time:
+
+    - the window distribution ({!Window_hist}) driven by the drop
+      probability the senders {e saw one base-RTT ago};
+    - the instantaneous queue, [dq/dt = λ·(1-p) - capacity] clamped to
+      [0, buffer], with the arrival rate [λ = N·E[W]/RTT];
+    - the RED average queue, relaxing toward [q] at the per-packet EWMA
+      rate [weight·λ] (drop-tail and constant laws have no averager).
+
+    Integration starts {e at} the solver's equilibrium, population spread
+    around the equilibrium window: a stable law shows only discretization
+    ripple, an unstable one grows its limit cycle from there.  The verdict
+    reads the trailing half of the horizon — amplitude above the threshold
+    means {!Oscillating}, with the cycle period estimated from mean
+    crossings.  Cost per step is O(bins), independent of [flows]. *)
+
+type osc = {
+  amplitude : float; [@pftk.unit "pkt"]
+      (** Half the trailing peak-to-peak queue swing. *)
+  period : float; [@pftk.unit "s"]
+      (** Estimated limit-cycle period (0 when too few crossings). *)
+}
+
+type verdict = Stable | Oscillating of osc
+
+type config = {
+  solver : Solver.config;
+  bins : int;  (** Histogram resolution (default 256). *)
+  horizon : float; [@pftk.unit "s"]
+      (** Total simulated time; the verdict reads the trailing half. *)
+  dt : float; [@pftk.unit "s"]  (** Step size; [<= 0] picks one. *)
+  osc_threshold : float; [@pftk.unit "pkt"]
+      (** Minimum absolute amplitude counted as oscillation. *)
+}
+
+val default : Solver.config -> config
+[@@pftk.unit "_ -> _"]
+(** 256 bins, a horizon of 400 base RTTs (at least 2 s), automatic [dt],
+    and a 1-packet oscillation threshold. *)
+
+type result = {
+  verdict : verdict;
+  equilibrium : Solver.equilibrium;
+      (** The fixed point the run was seeded from. *)
+  mean_queue : float; [@pftk.unit "pkt"]
+  queue_min : float; [@pftk.unit "pkt"]
+  queue_max : float; [@pftk.unit "pkt"]
+      (** Trailing-half statistics of the instantaneous queue. *)
+  mean_window : float; [@pftk.unit "pkt"]
+  mean_goodput : float; [@pftk.unit "pkt/s"]
+      (** Trailing-half per-flow delivered rate [E[W]/RTT·(1-p)]. *)
+  steps : int;
+}
+
+val run : config -> result
+[@@pftk.unit "_ -> _"]
+(** Raises [Invalid_argument] on a non-positive horizon or negative
+    threshold, and propagates {!Solver.solve}'s validation.  For a
+    [Constant] law there is no queue; the verdict then reads the mean
+    window instead (a drifting population would be a discretization bug,
+    so it pins the C12 degenerate limit as [Stable]). *)

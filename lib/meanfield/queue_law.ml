@@ -1,0 +1,69 @@
+type red = {
+  red_capacity : int;
+  min_threshold : float;
+  max_threshold : float;
+  max_probability : float;
+  weight : float;
+}
+
+type t = Drop_tail of int | Red of red | Constant of float
+
+let drop_tail ~capacity =
+  if capacity < 1 then invalid_arg "Queue_law.drop_tail: capacity < 1";
+  Drop_tail capacity
+
+let red ?(weight = 0.002) ?(max_probability = 0.1) ~capacity ~min_threshold
+    ~max_threshold () =
+  if capacity < 1 then invalid_arg "Queue_law.red: capacity < 1";
+  if not (0. <= min_threshold && min_threshold <= max_threshold) then
+    invalid_arg "Queue_law.red: need 0 <= min_threshold <= max_threshold";
+  if not (max_threshold <= float_of_int capacity) then
+    invalid_arg "Queue_law.red: max_threshold above capacity";
+  if not (0. < max_probability && max_probability <= 1.) then
+    invalid_arg "Queue_law.red: max_probability outside (0, 1]";
+  if not (0. < weight && weight <= 1.) then
+    invalid_arg "Queue_law.red: weight outside (0, 1]";
+  Red { red_capacity = capacity; min_threshold; max_threshold; max_probability; weight }
+
+let constant ~p =
+  if not (0. <= p && p < 1.) then
+    invalid_arg "Queue_law.constant: p outside [0, 1)";
+  Constant p
+
+let validate = function
+  | Drop_tail capacity -> ignore (drop_tail ~capacity)
+  | Red r ->
+      ignore
+        (red ~weight:r.weight ~max_probability:r.max_probability
+           ~capacity:r.red_capacity ~min_threshold:r.min_threshold
+           ~max_threshold:r.max_threshold ())
+  | Constant p -> ignore (constant ~p)
+
+let capacity = function
+  | Drop_tail c -> c
+  | Red r -> r.red_capacity
+  | Constant _ -> 0
+
+let drop_prob t ~avg_queue =
+  match t with
+  | Constant p -> p
+  | Drop_tail c -> if avg_queue >= float_of_int c then 1. else 0.
+  | Red r ->
+      if avg_queue < r.min_threshold then 0.
+      else if avg_queue >= r.max_threshold then 1.
+      else
+        r.max_probability
+        *. ((avg_queue -. r.min_threshold)
+           /. (r.max_threshold -. r.min_threshold))
+
+let queue_for_drop t ~p =
+  match t with
+  | Constant _ -> 0.
+  | Drop_tail c -> if p <= 0. then 0. else 0.5 *. float_of_int c
+  | Red r ->
+      if p <= 0. then r.min_threshold
+      else if p >= r.max_probability then r.max_threshold
+      else
+        r.min_threshold
+        +. (p /. r.max_probability)
+           *. (r.max_threshold -. r.min_threshold)

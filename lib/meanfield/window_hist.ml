@@ -1,0 +1,111 @@
+type t = {
+  n : int;
+  h : float;  (* bin width, pkt *)
+  mass : float array;  (* probability mass per bin *)
+  scratch : float array;  (* halving-flux deposits, zeroed per step *)
+}
+
+let create ?(bins = 256) ~wmax () =
+  if bins < 2 then invalid_arg "Window_hist.create: bins < 2";
+  if not (wmax > 0.) then invalid_arg "Window_hist.create: wmax must be positive";
+  {
+    n = bins;
+    h = wmax /. float_of_int bins;
+    mass = Array.make bins 0.;
+    scratch = Array.make bins 0.;
+  }
+
+let bins t = t.n
+let width t = t.h
+let wmax t = t.h *. float_of_int t.n
+let center t i = (float_of_int i +. 0.5) *. t.h
+
+let reset t ~mean ~spread =
+  Array.fill t.mass 0 t.n 0.;
+  let lo = Float.max 0. (mean -. spread) in
+  let hi = Float.min (wmax t) (mean +. spread) in
+  if hi > lo then begin
+    (* Mass proportional to each bin's overlap with [lo, hi]. *)
+    for i = 0 to t.n - 1 do
+      let bl = float_of_int i *. t.h and bh = float_of_int (i + 1) *. t.h in
+      let overlap = Float.min hi bh -. Float.max lo bl in
+      if overlap > 0. then t.mass.(i) <- overlap /. (hi -. lo)
+    done;
+    (* Renormalize the clipping rounding away. *)
+    let s = Array.fold_left ( +. ) 0. t.mass in
+    if s > 0. then
+      for i = 0 to t.n - 1 do
+        t.mass.(i) <- t.mass.(i) /. s
+      done
+  end
+  else begin
+    let i = int_of_float (mean /. t.h) in
+    let i = if i < 0 then 0 else if i > t.n - 1 then t.n - 1 else i in
+    t.mass.(i) <- 1.
+  end
+
+let total t = Array.fold_left ( +. ) 0. t.mass
+
+let mean t =
+  let acc = ref 0. in
+  for i = 0 to t.n - 1 do
+    acc := !acc +. (t.mass.(i) *. center t i)
+  done;
+  !acc
+
+let second_moment t =
+  let acc = ref 0. in
+  for i = 0 to t.n - 1 do
+    let w = center t i in
+    acc := !acc +. (t.mass.(i) *. w *. w)
+  done;
+  !acc
+
+let step t ~dt ~drift ~p ~rtt =
+  let n = t.n and m = t.mass and s = t.scratch in
+  (* Halving flux: bin i loses mass at rate p·w_i/rtt toward w_i/2. *)
+  if p > 0. then begin
+    Array.fill s 0 n 0.;
+    for i = 0 to n - 1 do
+      let mi = m.(i) in
+      if mi > 0. then begin
+        let w = center t i in
+        let frac = Float.min 1. (dt *. p *. w /. rtt) in
+        if frac > 0. then begin
+          let out = mi *. frac in
+          m.(i) <- mi -. out;
+          (* Deposit at w/2, split linearly over the bracketing bins. *)
+          let x = Float.max 0. ((w /. 2. /. t.h) -. 0.5) in
+          let lo = int_of_float x in
+          if lo >= n - 1 then s.(n - 1) <- s.(n - 1) +. out
+          else begin
+            let f = x -. float_of_int lo in
+            s.(lo) <- s.(lo) +. (out *. (1. -. f));
+            s.(lo + 1) <- s.(lo + 1) +. (out *. f)
+          end
+        end
+      end
+    done;
+    for i = 0 to n - 1 do
+      m.(i) <- m.(i) +. s.(i)
+    done
+  end;
+  (* Upwind drift: mass moves right one neighbor at a time; the top bin is
+     absorbing (the W_m clamp).  Walking from the top keeps each packet of
+     mass from moving twice in one step. *)
+  let frac = Float.min 1. (dt *. drift /. t.h) in
+  if frac > 0. then
+    for i = n - 2 downto 0 do
+      let out = m.(i) *. frac in
+      m.(i) <- m.(i) -. out;
+      m.(i + 1) <- m.(i + 1) +. out
+    done
+
+let max_dt t ~drift ~p ~rtt =
+  let cfl =
+    if drift > 0. then 0.9 *. t.h /. drift else Float.infinity
+  in
+  let halving =
+    if p > 0. then 0.9 *. rtt /. (p *. wmax t) else Float.infinity
+  in
+  Float.min cfl halving

@@ -28,6 +28,8 @@ type 'a t = {
   mutable bytes_delivered : int;
   mutable max_queue : int;
   mutable busy_time : float;
+  mutable queue_area : float;  (* ∫ queue-length dt up to last_queue_event *)
+  mutable last_queue_event : float;
 }
 
 let create ?(discipline = Queue_discipline.drop_tail ~capacity:64) ?random_loss
@@ -53,10 +55,28 @@ let create ?(discipline = Queue_discipline.drop_tail ~capacity:64) ?random_loss
     bytes_delivered = 0;
     max_queue = 0;
     busy_time = 0.;
+    queue_area = 0.;
+    last_queue_event = 0.;
   }
 
 let queue_length t = Queue.length t.queue
 let in_flight t = t.propagating
+
+(* Account the time spent at the current queue length; call before any
+   length change so [queue_area] stays a step-function integral. *)
+let observe_queue t =
+  let now = Sim.now t.sim in
+  t.queue_area <-
+    t.queue_area +. (float_of_int (Queue.length t.queue) *. (now -. t.last_queue_event));
+  t.last_queue_event <- now
+
+let mean_queue t =
+  let now = Sim.now t.sim in
+  if now <= 0. then 0.
+  else
+    (t.queue_area
+    +. (float_of_int (Queue.length t.queue) *. (now -. t.last_queue_event)))
+    /. now
 
 (* Pull the head of the queue into transmission; when its serialization
    completes, launch propagation and recurse on the next packet. *)
@@ -69,6 +89,7 @@ let rec start_transmission t =
       t.busy_time <- t.busy_time +. tx_time;
       ignore
         (Sim.schedule t.sim ~delay:tx_time (fun () ->
+             observe_queue t;
              ignore (Queue.pop t.queue);
              Queue_discipline.on_dequeue t.discipline t.disc_state
                ~queue_length:(Queue.length t.queue);
@@ -100,6 +121,7 @@ let send (t : _ t) ~size payload =
     false
   end
   else begin
+    observe_queue t;
     Queue.push { size; payload } t.queue;
     if Queue.length t.queue > t.max_queue then t.max_queue <- Queue.length t.queue;
     if not t.transmitting then start_transmission t;

@@ -50,5 +50,10 @@ val stats : 'a t -> stats
 val busy_time : 'a t -> float
 (** Cumulative transmission time, for utilization accounting. *)
 
+val mean_queue : 'a t -> float
+(** Time-averaged queue length (packets waiting or in transmission) from
+    time 0 to the simulator's current time; 0 before any time has passed.
+    This is the occupancy observable the mean-field backend predicts. *)
+
 val delay : 'a t -> float
 (** The link's one-way propagation delay, seconds. *)

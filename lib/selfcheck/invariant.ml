@@ -397,6 +397,88 @@ let batch_scalar_equiv (c : Case.t) =
       in
       List.fold_left check_model Pass models
 
+(* --- C12: mean-field degenerate limits ----------------------------------- *)
+
+module Mf_solver = Pftk_meanfield.Solver
+module Mf_law = Pftk_meanfield.Queue_law
+module Mf_hist = Pftk_meanfield.Window_hist
+
+(* Two degenerate corners tie the mean-field backend to the closed-form
+   model.  (A) One flow behind a constant drop law on an unconstrained
+   link must reproduce eq. (32)/(33) itself — exactly, up to the float
+   round-trip of re-deriving t0 from t0/rtt.  (B) The window histogram's
+   stationary distribution under constant loss must land on the
+   1/sqrt(p) scaling law: E[W^2].bp/2 = 1 (the drop-rate balance the
+   derivation of eq. (31) rests on) and E[W].sqrt(3bp/8) at the
+   calibrated 0.804 (a pure shape constant of the halving dynamics:
+   uniform-seeded runs land on 0.8044 across b in 1..3 and p in
+   [1e-4, 0.05]; the window pins it to [0.75, 0.88]). *)
+let meanfield_degenerate (c : Case.t) =
+  let { Params.rtt; t0; b; wm; _ } = c.params in
+  if t0 < 1e-3 then skipf "t0=%g below the solver's 1e-3 floor" t0
+  else begin
+    let cfg =
+      {
+        (Mf_solver.default ~flows:1 ~capacity:1e9 ~base_rtt:rtt
+           ~law:(Mf_law.constant ~p:c.p))
+        with
+        Mf_solver.b;
+        wm = (if wm = Params.unlimited_window then 0 else wm);
+        t0_factor = t0 /. rtt;
+      }
+    in
+    let close a b =
+      Float.abs (a -. b) <= 1e-6 *. Float.max (Float.abs a) (Float.abs b)
+    in
+    let check_law acc (rate_law, label, expect) =
+      match acc with
+      | Fail _ -> acc
+      | _ ->
+          let eq = Mf_solver.solve { cfg with Mf_solver.rate_law } in
+          if close eq.Mf_solver.per_flow_rate expect then acc
+          else
+            failf "%s: solver rate %.17g <> model rate %.17g at p=%h" label
+              eq.Mf_solver.per_flow_rate expect c.p
+    in
+    let part_a =
+      List.fold_left check_law Pass
+        [
+          (Mf_solver.Full, "full", Pftk_core.Full_model.send_rate c.params c.p);
+          ( Mf_solver.Approximate,
+            "approx",
+            Pftk_core.Approx_model.send_rate c.params c.p );
+        ]
+    in
+    match part_a with
+    | (Fail _ | Skip _) as v -> v
+    | Pass ->
+        if c.p > 0.05 then Pass (* histogram calibrated for p <= 0.05 *)
+        else begin
+          let bf = float_of_int b in
+          let wmax = 3. *. sqrt (2. /. (bf *. c.p)) in
+          let h = Mf_hist.create ~bins:128 ~wmax () in
+          let w0 = sqrt (1.5 /. (bf *. c.p)) in
+          Mf_hist.reset h ~mean:w0 ~spread:(0.5 *. w0);
+          let drift = 1. /. (bf *. rtt) in
+          let dt = Mf_hist.max_dt h ~drift ~p:c.p ~rtt in
+          for _ = 1 to 400 do
+            Mf_hist.step h ~dt ~drift ~p:c.p ~rtt
+          done;
+          let m2_norm = Mf_hist.second_moment h *. bf *. c.p /. 2. in
+          let mean_norm = Mf_hist.mean h *. sqrt (3. *. bf *. c.p /. 8.) in
+          if m2_norm < 0.97 || m2_norm > 1.03 then
+            failf
+              "stationary E[W^2].bp/2 = %.17g outside [0.97, 1.03] (b=%d p=%h)"
+              m2_norm b c.p
+          else if mean_norm < 0.75 || mean_norm > 0.88 then
+            failf
+              "stationary E[W].sqrt(3bp/8) = %.17g outside [0.75, 0.88] (b=%d \
+               p=%h)"
+              mean_norm b c.p
+          else Pass
+        end
+  end
+
 let corpus_roundtrip (c : Case.t) =
   match Case.of_string (Case.to_string c) with
   | Error msg -> failf "case text did not parse back: %s" msg
@@ -470,6 +552,12 @@ let all =
       name = "batch-scalar-equiv";
       description = "batch kernels match scalar models bit-for-bit";
       check = batch_scalar_equiv;
+    };
+    {
+      id = "C12";
+      name = "meanfield-degenerate";
+      description = "mean-field single-flow limit matches eq. (32)/(33)";
+      check = meanfield_degenerate;
     };
   ]
 

@@ -31,6 +31,7 @@ type flow_result = {
 type result = {
   flows : flow_result list;
   bottleneck_utilization : float;
+  bottleneck_mean_queue : float;
   jain_fairness : float;
 }
 
@@ -67,7 +68,7 @@ let jain goodputs =
   let sq = Array.fold_left (fun acc g -> acc +. (g *. g)) 0. goodputs in
   if sq = 0. then 1. else total *. total /. (n *. sq)
 
-let run ?(seed = 53L) ?(buffer = 64) ?(bandwidth = 1_250_000.)
+let run ?(seed = 53L) ?(buffer = 64) ?discipline ?(bandwidth = 1_250_000.)
     ?(one_way_delay = 0.02) ~duration specs =
   if specs = [] then invalid_arg "Shared_bottleneck.run: no flows";
   if not (duration > 0.) then
@@ -77,10 +78,13 @@ let run ?(seed = 53L) ?(buffer = 64) ?(bandwidth = 1_250_000.)
   let n = List.length specs in
   let endpoints : endpoint option array = Array.make n None in
   (* Shared forward bottleneck: dispatch deliveries by flow id. *)
+  let discipline =
+    match discipline with
+    | Some d -> d
+    | None -> Queue_discipline.drop_tail ~capacity:buffer
+  in
   let bottleneck =
-    Link.create
-      ~discipline:(Queue_discipline.drop_tail ~capacity:buffer)
-      ~sim ~rng ~bandwidth ~delay:one_way_delay
+    Link.create ~discipline ~sim ~rng ~bandwidth ~delay:one_way_delay
       ~deliver:(fun payload ->
         match payload with
         | Tcp_data (flow, segment) -> begin
@@ -253,6 +257,7 @@ let run ?(seed = 53L) ?(buffer = 64) ?(bandwidth = 1_250_000.)
   {
     flows;
     bottleneck_utilization = Link.busy_time bottleneck /. duration;
+    bottleneck_mean_queue = Link.mean_queue bottleneck;
     jain_fairness =
       jain (Array.of_list (List.map (fun f -> f.goodput) flows));
   }

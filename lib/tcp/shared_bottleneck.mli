@@ -53,6 +53,9 @@ type result = {
   flows : flow_result list;
   bottleneck_utilization : float; [@pftk.unit "1"]
   (** Busy fraction of the shared link. *)
+  bottleneck_mean_queue : float; [@pftk.unit "pkt"]
+      (** Time-averaged bottleneck occupancy, packets — the observable the
+          mean-field backend's equilibrium queue predicts. *)
   jain_fairness : float; [@pftk.unit "1"]
       (** Jain's index over per-flow goodputs, in [(1/n), 1]. *)
 }
@@ -60,11 +63,14 @@ type result = {
 val run :
   ?seed:int64 ->
   ?buffer:int ->
+  ?discipline:Pftk_netsim.Queue_discipline.t ->
   ?bandwidth:float ->
   ?one_way_delay:float ->
   duration:float ->
   spec list ->
   result
 (** Defaults: 64-packet drop-tail buffer, 1.25 MB/s bottleneck, 20 ms
-    one-way delay.  Raises [Invalid_argument] on an empty flow list or
-    nonpositive duration. *)
+    one-way delay.  [discipline] overrides the bottleneck's queue
+    management wholesale (e.g. RED for the mean-field cross-validation);
+    when given, [buffer] is ignored.  Raises [Invalid_argument] on an
+    empty flow list or nonpositive duration. *)

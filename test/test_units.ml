@@ -259,6 +259,14 @@ let test_u3_covered_and_exempt () =
          ("lib/experiments/u3_outside.ml", "let rate x = x\n");
        ])
 
+let test_u3_meanfield_zone () =
+  check_rules "lib/meanfield is inside the U3 zone" [ "U3" ]
+    (analyze
+       [
+         ("lib/meanfield/u3_mf.mli", "val occupancy : float -> float\n");
+         ("lib/meanfield/u3_mf.ml", "let occupancy q = q\n");
+       ])
+
 let test_u3_field_coverage () =
   check_rules "unannotated float record field in a zone .mli" [ "U3" ]
     (analyze
@@ -409,6 +417,7 @@ let () =
           case "U2 lint.allow" test_u2_allow;
           case "U3 uncovered export" test_u3_uncovered;
           case "U3 covered and exempt" test_u3_covered_and_exempt;
+          case "U3 meanfield zone" test_u3_meanfield_zone;
           case "U3 field coverage" test_u3_field_coverage;
           case "U3 lint.allow" test_u3_allow;
           case "U4 wrong result" test_u4_wrong_result;

@@ -22,7 +22,7 @@
 #                             packet-level traces, prefixes, and
 #                             disk-replayed streams
 #   6. pftk selfcheck      -- 200 seeded cases through the invariant
-#                             catalog (C1-C11): differential model
+#                             catalog (C1-C12): differential model
 #                             checks, inverse round-trips, serializer
 #                             round-trips, online/post-hoc agreement,
 #                             batch/scalar bit-equality
@@ -31,6 +31,10 @@
 #   8. batch smoke         -- timed bench-batch runs on the release
 #                             binary asserting the batch engine's
 #                             speedup floors and bitwise equality
+#   9. meanfield smoke     -- the mean-field backend on the release
+#                             binary: a 100000-flow RED equilibrium
+#                             held to a sub-second solver budget, and
+#                             the quick netsim cross-validation
 #
 # Each phase reports its wall-clock time.  Exits non-zero at the first
 # failure.  Run from anywhere inside the workspace; dune locates the
@@ -82,5 +86,16 @@ phase "batch smoke: eq. (32) kernel floor 2x" \
 phase "batch smoke: eq. (33) vs scalar full model, floor 6x" \
   dune exec --profile release bin/pftk.exe -- bench-batch \
   --rows 1000000 --model approximate --scalar-model full --min-speedup 6
+
+# The scale promise of the mean-field backend: a 100000-flow RED
+# equilibrium in well under a second (measured ~0.3 ms; the 0.5 s
+# budget only catches a complexity regression, not noise).
+phase "meanfield smoke: 100000-flow equilibrium under 0.5s" \
+  dune exec --profile release bin/pftk.exe -- meanfield \
+  --flows 100000 --capacity 2000000 --equilibrium-only \
+  --max-solver-seconds 0.5
+
+phase "meanfield smoke: netsim cross-validation (quick)" \
+  dune exec --profile release bin/pftk.exe -- meanfield --cross-validate --quick
 
 say "all checks passed"

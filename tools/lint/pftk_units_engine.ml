@@ -297,7 +297,7 @@ let report st ~file (loc : Location.t) rule message =
   if st.loud && not (F.Allow.active st.allows rule) then
     st.findings <- F.finding_of_loc ~file loc rule message :: st.findings
 
-let u3_roots = [ "lib/core"; "lib/batch"; "lib/online" ]
+let u3_roots = [ "lib/core"; "lib/batch"; "lib/online"; "lib/meanfield" ]
 let in_u3_zone file = List.exists (fun root -> F.under ~root file) u3_roots
 
 (* Scoped lookup, as in pftk-flow's [resolve]: try the name qualified by
